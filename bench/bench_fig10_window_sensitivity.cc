@@ -1,0 +1,58 @@
+/// \file bench_fig10_window_sensitivity.cc
+/// Figure 10 reproduction: GCM processing time with window sizes of
+/// 900/1800/3600 s (slides 450/900/1800 s), SPEAr budget fixed at b=4000.
+/// Paper shape: with the smallest windows only ~68% of windows expedite
+/// and the gain is ~2x; at 1800 s ~88% expedite; at 3600 s all windows
+/// expedite and the gain exceeds one order of magnitude. In this
+/// reproduction the driver is GCM's CPU-usage bursts: a burst dominates a
+/// 900 s window (within-window variance spikes, the estimator refuses),
+/// but is diluted across a 3600 s window.
+
+#include <memory>
+
+#include "harness/harness.h"
+
+namespace spear::bench {
+namespace {
+
+CqRunResult RunGcm(ExecutionEngine engine, DurationMs range) {
+  SpearTopologyBuilder builder;
+  builder
+      .Source(std::make_shared<VectorSpout>(GcmTuples(Hours(6))), range / 2)
+      .SlidingWindowOf(range, range / 2)
+      .Mean(NumericField(GcmGenerator::kCpuField))
+      .GroupBy(KeyField(GcmGenerator::kClassField))
+      .SetBudget(Budget::Tuples(4000))
+      .Error(0.10, 0.95)
+      .KnownGroups(8)
+      .Parallelism(4)
+      .Engine(engine);
+  return RunCq(builder);
+}
+
+void Run() {
+  PrintTitle("Figure 10: GCM processing time with varying window sizes",
+             "grouped mean, b=4000, 4 workers; paper shape: expedite rate "
+             "grows with window size (~68% -> ~88% -> 100%), speedup "
+             "2x -> >10x");
+  PrintRow({"Window(s)", "Storm mean", "Storm p95", "SPEAr mean",
+            "SPEAr p95", "Expedited"});
+  for (DurationMs range : {Seconds(900), Seconds(1800), Seconds(3600)}) {
+    const CqRunResult storm = RunGcm(ExecutionEngine::kExact, range);
+    const CqRunResult spear = RunGcm(ExecutionEngine::kSpear, range);
+    PrintRow({FmtCount(static_cast<std::uint64_t>(range / 1000)),
+              FmtMs(storm.window_ns.mean),
+              FmtMs(static_cast<double>(storm.window_ns.p95)),
+              FmtMs(spear.window_ns.mean),
+              FmtMs(static_cast<double>(spear.window_ns.p95)),
+              FmtPct(spear.decisions.ExpediteRate())});
+  }
+}
+
+}  // namespace
+}  // namespace spear::bench
+
+int main() {
+  spear::bench::Run();
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "harness/harness.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/byte_size.h"
+#include "common/time.h"
+#include "runtime/windowed_bolt.h"
+
+namespace spear::bench {
+
+CqRunResult RunCq(SpearTopologyBuilder& builder) {
+  DecisionStatsCollector decisions;
+  builder.CollectDecisions(&decisions);
+  auto topology = builder.Build();
+  if (!topology.ok()) {
+    std::fprintf(stderr, "CQ build failed: %s\n",
+                 topology.status().ToString().c_str());
+    std::abort();
+  }
+  const std::int64_t start = NowNs();
+  auto report = Executor(std::move(*topology)).Run();
+  const std::int64_t wall = NowNs() - start;
+  if (!report.ok()) {
+    std::fprintf(stderr, "CQ run failed: %s\n",
+                 report.status().ToString().c_str());
+    std::abort();
+  }
+
+  CqRunResult result;
+  result.window_ns = report->metrics.StageWindowSummary(
+      SpearTopologyBuilder::StatefulStageName());
+  result.mean_memory_per_worker = report->metrics.StageMeanMemoryPerWorker(
+      SpearTopologyBuilder::StatefulStageName());
+  for (const WorkerMetrics* m : report->metrics.ForStage(
+           SpearTopologyBuilder::StatefulStageName())) {
+    result.stateful_busy_ns += m->busy_ns();
+  }
+  result.wall_ns = wall;
+  result.output = std::move(report->output);
+  result.decisions = decisions.Total();
+  return result;
+}
+
+std::map<std::int64_t, double> DecodeScalarResults(
+    const std::vector<Tuple>& output) {
+  std::map<std::int64_t, double> out;
+  for (const Tuple& t : output) {
+    out[t.field(ResultTupleLayout::kEnd).AsInt64()] =
+        t.field(ResultTupleLayout::kScalarValue).AsDouble();
+  }
+  return out;
+}
+
+std::map<std::pair<std::int64_t, std::string>, double> DecodeGroupedResults(
+    const std::vector<Tuple>& output) {
+  std::map<std::pair<std::int64_t, std::string>, double> out;
+  for (const Tuple& t : output) {
+    out[{t.field(ResultTupleLayout::kEnd).AsInt64(),
+         t.field(ResultTupleLayout::kGroupKey).AsString()}] =
+        t.field(ResultTupleLayout::kGroupValue).AsDouble();
+  }
+  return out;
+}
+
+namespace {
+
+/// Generation is deterministic, so per-process memoization is safe and
+/// keeps multi-configuration benches fast.
+template <typename Generator>
+const std::vector<Tuple>& Cached(DurationMs duration) {
+  static std::mutex mutex;
+  static std::unordered_map<DurationMs, std::vector<Tuple>> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(duration);
+  if (it == cache.end()) {
+    typename Generator::Config config;
+    config.duration = duration;
+    it = cache.emplace(duration, Generator::Generate(config)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+std::vector<Tuple> DecTuples(DurationMs duration) {
+  return Cached<DecGenerator>(duration);
+}
+std::vector<Tuple> GcmTuples(DurationMs duration) {
+  return Cached<GcmGenerator>(duration);
+}
+std::vector<Tuple> DebsTuples(DurationMs duration) {
+  return Cached<DebsGenerator>(duration);
+}
+
+void PrintTitle(const std::string& title, const std::string& subtitle) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  if (!subtitle.empty()) std::printf("%s\n", subtitle.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  for (const std::string& cell : cells) {
+    std::printf("%-16s", cell.c_str());
+  }
+  std::printf("\n");
+}
+
+std::string FmtMs(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f ms", ns / 1e6);
+  return buf;
+}
+
+std::string FmtBytes(double bytes) {
+  return FormatBytes(static_cast<std::size_t>(bytes));
+}
+
+std::string FmtPct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string FmtCount(std::uint64_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, n);
+  return buf;
+}
+
+}  // namespace spear::bench

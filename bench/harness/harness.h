@@ -1,0 +1,68 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/spear_topology_builder.h"
+#include "data/datasets.h"
+#include "runtime/executor.h"
+#include "runtime/spouts.h"
+
+/// \file harness.h
+/// Shared machinery of the figure/table reproduction binaries: run a CQ
+/// to completion, pool the stateful stage's per-window telemetry, and
+/// print paper-shaped rows. Every binary in bench/ prints (i) the workload
+/// parameters it used and (ii) the series the corresponding paper figure
+/// plots, so EXPERIMENTS.md can be regenerated from bench output alone.
+
+namespace spear::bench {
+
+/// \brief One CQ run's pooled results.
+struct CqRunResult {
+  /// Per-window processing times pooled across the stateful stage.
+  MetricSummary window_ns;
+  /// Mean of each worker's average "memory used to produce results".
+  double mean_memory_per_worker = 0.0;
+  /// End-to-end wall time of Executor::Run.
+  std::int64_t wall_ns = 0;
+  /// Total busy time across the stateful stage's workers (tuple ingestion
+  /// plus watermark processing) — the "total processing time" of Fig. 9.
+  std::int64_t stateful_busy_ns = 0;
+  /// Result tuples from the final stage.
+  std::vector<Tuple> output;
+  /// Aggregated SPEAr decisions (zero for non-SPEAr engines).
+  DecisionStats decisions;
+};
+
+/// \brief Builds and runs a CQ, aborting the process on error (benches
+/// have no meaningful recovery).
+CqRunResult RunCq(SpearTopologyBuilder& builder);
+
+/// \brief Decodes scalar result tuples as window-end -> value.
+std::map<std::int64_t, double> DecodeScalarResults(
+    const std::vector<Tuple>& output);
+
+/// \brief Decodes grouped result tuples as (window end, key) -> value.
+std::map<std::pair<std::int64_t, std::string>, double> DecodeGroupedResults(
+    const std::vector<Tuple>& output);
+
+// ---- dataset caching -------------------------------------------------------
+
+/// Default bench-scale durations (full paper-scale traces are quoted in
+/// Table 1 output but not materialized: 56 M tuples do not fit a harness
+/// run).
+std::vector<Tuple> DecTuples(DurationMs duration = Minutes(20));
+std::vector<Tuple> GcmTuples(DurationMs duration = Hours(4));
+std::vector<Tuple> DebsTuples(DurationMs duration = Hours(3));
+
+// ---- printing --------------------------------------------------------------
+
+void PrintTitle(const std::string& title, const std::string& subtitle);
+void PrintRow(const std::vector<std::string>& cells);
+std::string FmtMs(double ns);
+std::string FmtBytes(double bytes);
+std::string FmtPct(double fraction);
+std::string FmtCount(std::uint64_t n);
+
+}  // namespace spear::bench

@@ -1,0 +1,66 @@
+/// \file network_monitor.cpp
+/// DEC-style scalar CQ: the median TCP packet size over 45-second sliding
+/// windows — the paper's hardest scalar case (holistic, cannot be
+/// computed incrementally). Demonstrates the budget trade-off by running
+/// the same stream at several budgets and reporting processing effort and
+/// expedite decisions.
+
+#include <cstdio>
+#include <memory>
+
+#include "core/spear_topology_builder.h"
+#include "data/datasets.h"
+#include "runtime/executor.h"
+#include "runtime/spouts.h"
+
+using namespace spear;  // NOLINT
+
+int main() {
+  DecGenerator::Config data;
+  data.duration = Minutes(10);
+  auto packets = std::make_shared<VectorSpout>(DecGenerator::Generate(data));
+  std::printf("monitoring %zu packets (10 minutes of traffic)...\n\n",
+              packets->size());
+
+  std::printf("%-10s %-12s %-12s %-14s %-12s\n", "budget", "windows",
+              "expedited", "tuples eval'd", "worker busy");
+  for (std::size_t budget : {50u, 150u, 500u, 5000u}) {
+    packets->Rewind();  // fresh replay per budget setting
+    DecisionStatsCollector decisions;
+    SpearTopologyBuilder cq;
+    cq.Source(packets, Seconds(15))
+        .SlidingWindowOf(Seconds(45), Seconds(15))
+        .Median(NumericField(DecGenerator::kSizeField))
+        .SetBudget(Budget::Tuples(budget))
+        .Error(0.10, 0.95)
+        .CollectDecisions(&decisions);
+    auto topology = cq.Build();
+    if (!topology.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   topology.status().ToString().c_str());
+      return 1;
+    }
+    auto report = Executor(std::move(*topology)).Run();
+    if (!report.ok()) {
+      std::fprintf(stderr, "run failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::int64_t busy = 0;
+    for (const auto* m : report->metrics.ForStage(
+             SpearTopologyBuilder::StatefulStageName())) {
+      busy += m->busy_ns();
+    }
+    const DecisionStats stats = decisions.Total();
+    std::printf("%-10zu %-12llu %-12llu %-14llu %.2f ms\n", budget,
+                static_cast<unsigned long long>(stats.windows_total),
+                static_cast<unsigned long long>(stats.windows_expedited),
+                static_cast<unsigned long long>(stats.tuples_processed),
+                static_cast<double>(busy) / 1e6);
+  }
+  std::printf(
+      "\nA budget below the quantile sample-size bound (~150 for 10%% rank\n"
+      "error at 99%% confidence) forces exact processing of every window;\n"
+      "a sufficient budget evaluates only the sample.\n");
+  return 0;
+}

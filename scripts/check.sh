@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full local check: configure, build, run every test, then every bench.
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -S "$ROOT" -B "$ROOT/$BUILD_DIR" -G Ninja
+cmake --build "$ROOT/$BUILD_DIR"
+ctest --test-dir "$ROOT/$BUILD_DIR" -j"$(nproc)" --output-on-failure
+
+for bench in "$ROOT/$BUILD_DIR"/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  echo "=== $(basename "$bench") ==="
+  "$bench"
+done

@@ -1,0 +1,26 @@
+#include "common/byte_size.h"
+
+#include <array>
+#include <cstdio>
+
+namespace spear {
+
+std::string FormatBytes(std::size_t bytes) {
+  static constexpr std::array<const char*, 4> kUnits = {"B", "KiB", "MiB",
+                                                        "GiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace spear

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+/// \file byte_size.h
+/// Byte-count helpers for memory budgets (the `b` in SPEAr CQs).
+
+namespace spear {
+
+inline constexpr std::size_t kKiB = 1024;
+inline constexpr std::size_t kMiB = 1024 * kKiB;
+inline constexpr std::size_t kGiB = 1024 * kMiB;
+
+namespace literals {
+
+constexpr std::size_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr std::size_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr std::size_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+
+}  // namespace literals
+
+/// Renders a byte count as a short human-readable string ("1.5 MiB").
+std::string FormatBytes(std::size_t bytes);
+
+}  // namespace spear

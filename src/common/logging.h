@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cassert>
+#include <sstream>
+#include <string>
+
+/// \file logging.h
+/// Minimal leveled logger plus RocksDB/Arrow-style check macros. Logging is
+/// used only off the hot path (startup, shutdown, fallback events).
+
+namespace spear {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// \brief Sets the global minimum level actually emitted (default kWarn so
+/// benchmarks stay quiet).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (thread-safely) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Emits the message then aborts. Used by SPEAR_CHECK failures.
+[[noreturn]] void FatalMessage(const char* file, int line,
+                               const std::string& message);
+
+}  // namespace internal
+}  // namespace spear
+
+#define SPEAR_LOG(level)                                              \
+  ::spear::internal::LogMessage(::spear::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+/// Invariant check, active in all build types (cheap conditions only).
+#define SPEAR_CHECK(condition)                                          \
+  do {                                                                  \
+    if (!(condition)) {                                                 \
+      ::spear::internal::FatalMessage(__FILE__, __LINE__,               \
+                                      "Check failed: " #condition);    \
+    }                                                                   \
+  } while (false)
+
+#define SPEAR_DCHECK(condition) assert(condition)

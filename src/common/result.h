@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+/// \file result.h
+/// Result<T> carries either a value or a non-OK Status (Arrow's
+/// arrow::Result). Use with SPEAR_ASSIGN_OR_RETURN to chain fallible calls.
+
+namespace spear {
+
+/// \brief Either a value of type T or an error Status.
+///
+/// A Result constructed from a value is OK; a Result constructed from a
+/// Status must carry a non-OK status. Accessing the value of a non-OK
+/// Result is undefined (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (OK result).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value. Requires ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace spear
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// assigns the value to `lhs`. `lhs` may include a declaration.
+#define SPEAR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define SPEAR_CONCAT_IMPL(a, b) a##b
+#define SPEAR_CONCAT(a, b) SPEAR_CONCAT_IMPL(a, b)
+
+#define SPEAR_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SPEAR_ASSIGN_OR_RETURN_IMPL(SPEAR_CONCAT(_spear_result_, __LINE__), lhs, rexpr)

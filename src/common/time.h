@@ -1,0 +1,55 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+/// \file time.h
+/// Event-time and processing-time conventions. Event time is an int64
+/// millisecond count (like Storm/Flink); processing time is measured with a
+/// steady clock and reported in nanoseconds.
+
+namespace spear {
+
+/// Event-time instant, in milliseconds. Sentinel kMinTimestamp means
+/// "no watermark seen yet".
+using Timestamp = std::int64_t;
+
+inline constexpr Timestamp kMinTimestamp = INT64_MIN;
+inline constexpr Timestamp kMaxTimestamp = INT64_MAX;
+
+/// Event-time span, in milliseconds.
+using DurationMs = std::int64_t;
+
+inline constexpr DurationMs Seconds(std::int64_t s) { return s * 1000; }
+inline constexpr DurationMs Minutes(std::int64_t m) { return m * 60'000; }
+inline constexpr DurationMs Hours(std::int64_t h) { return h * 3'600'000; }
+
+/// \brief Scoped stopwatch: accumulates elapsed nanoseconds into a sink on
+/// destruction.
+class ScopedTimerNs {
+ public:
+  explicit ScopedTimerNs(std::int64_t* sink)
+      : sink_(sink), start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedTimerNs() {
+    const auto end = std::chrono::steady_clock::now();
+    *sink_ += std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+                  .count();
+  }
+
+  ScopedTimerNs(const ScopedTimerNs&) = delete;
+  ScopedTimerNs& operator=(const ScopedTimerNs&) = delete;
+
+ private:
+  std::int64_t* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Monotonic now() in nanoseconds, for manual interval measurement.
+inline std::int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace spear

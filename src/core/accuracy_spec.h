@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+/// \file accuracy_spec.h
+/// The user-facing (epsilon, alpha) accuracy specification and memory
+/// budget b of a SPEAr stateful operation (the `.error(10%, 95%)` /
+/// `.budget(1MB)` pair of the paper's Fig. 5).
+
+namespace spear {
+
+/// \brief Accuracy specification: a result may deviate at most `epsilon`
+/// (relative error; *rank* error for quantiles) from the exact value, for
+/// a `confidence` fraction of windows.
+struct AccuracySpec {
+  double epsilon = 0.10;
+  double confidence = 0.95;
+
+  Status Validate() const {
+    if (!(epsilon > 0.0 && epsilon < 1.0)) {
+      return Status::Invalid("error bound must be in (0, 1)");
+    }
+    if (!(confidence > 0.0 && confidence < 1.0)) {
+      return Status::Invalid("confidence must be in (0, 1)");
+    }
+    return Status::OK();
+  }
+
+  std::string ToString() const {
+    return "error<=" + std::to_string(epsilon) +
+           " @ confidence=" + std::to_string(confidence);
+  }
+};
+
+/// \brief Memory budget b of one SPEAr worker's stateful operation.
+///
+/// Users may state it in tuples (sample elements) or bytes; a
+/// byte-denominated budget converts to elements given the per-element
+/// footprint, minus the bookkeeping slots the paper reserves (window size
+/// + variance accumulator: the "-2" in |10^6 f^-1 - 2|).
+class Budget {
+ public:
+  static Budget Tuples(std::size_t n) { return Budget(n, 0); }
+  static Budget Bytes(std::size_t bytes) { return Budget(0, bytes); }
+
+  /// Sample capacity in elements for a given per-element byte footprint.
+  std::size_t ElementsFor(std::size_t element_bytes) const {
+    if (tuples_ > 0) return tuples_;
+    if (element_bytes == 0) return 0;
+    const std::size_t raw = bytes_ / element_bytes;
+    return raw > kBookkeepingSlots ? raw - kBookkeepingSlots : 0;
+  }
+
+  bool IsByteDenominated() const { return tuples_ == 0; }
+  std::size_t raw_tuples() const { return tuples_; }
+  std::size_t raw_bytes() const { return bytes_; }
+
+  Status Validate() const {
+    if (tuples_ == 0 && bytes_ == 0) {
+      return Status::Invalid("budget must be positive");
+    }
+    return Status::OK();
+  }
+
+ private:
+  /// Slots reserved for the window-size counter and variance accumulator.
+  static constexpr std::size_t kBookkeepingSlots = 2;
+
+  Budget(std::size_t tuples, std::size_t bytes)
+      : tuples_(tuples), bytes_(bytes) {}
+
+  std::size_t tuples_;
+  std::size_t bytes_;
+};
+
+}  // namespace spear

@@ -1,0 +1,50 @@
+#include "core/budget_controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spear {
+
+Status BudgetController::Options::Validate() const {
+  if (min_budget == 0) return Status::Invalid("min_budget must be > 0");
+  if (max_budget < min_budget) {
+    return Status::Invalid("max_budget must be >= min_budget");
+  }
+  if (initial_budget < min_budget || initial_budget > max_budget) {
+    return Status::Invalid("initial_budget outside [min, max]");
+  }
+  if (!(grow_factor > 1.0)) return Status::Invalid("grow_factor must be > 1");
+  if (!(shrink_headroom > 0.0 && shrink_headroom < 1.0)) {
+    return Status::Invalid("shrink_headroom must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+Result<BudgetController> BudgetController::Make(const Options& options) {
+  SPEAR_RETURN_NOT_OK(options.Validate());
+  return BudgetController(options);
+}
+
+void BudgetController::OnWindowOutcome(bool expedited, double epsilon_hat,
+                                       double epsilon) {
+  if (!expedited) {
+    // The sample could not certify the window: grow multiplicatively.
+    const auto grown = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(budget_) * options_.grow_factor));
+    const std::size_t next = std::min(grown, options_.max_budget);
+    if (next != budget_) ++grows_;
+    budget_ = next;
+    return;
+  }
+  if (epsilon_hat < options_.shrink_headroom * epsilon) {
+    // Comfortable accept: reclaim memory additively.
+    const std::size_t next =
+        budget_ > options_.min_budget + options_.shrink_step
+            ? budget_ - options_.shrink_step
+            : options_.min_budget;
+    if (next != budget_) ++shrinks_;
+    budget_ = next;
+  }
+}
+
+}  // namespace spear

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+
+/// \file budget_controller.h
+/// Online budget adaptation — the feature the paper leaves as future work
+/// ("Future versions of SPEAr will be able to accommodate dynamic methods
+/// for online budget estimation", Sec. 4).
+///
+/// The controller treats the per-window outcome as feedback and adjusts
+/// the next window's sample budget with an AIMD-style policy:
+///  * a window that fell back to exact processing (estimate above the
+///    spec) multiplicatively increases the budget — the sample was too
+///    small to certify the result;
+///  * a comfortably accepted window (estimated error below
+///    `shrink_headroom * epsilon`) additively decreases the budget,
+///    reclaiming memory;
+///  * outcomes in between leave the budget unchanged.
+/// The budget always stays inside [min_budget, max_budget].
+
+namespace spear {
+
+/// \brief AIMD policy for the per-window sample budget.
+class BudgetController {
+ public:
+  struct Options {
+    std::size_t initial_budget = 1000;
+    std::size_t min_budget = 64;
+    std::size_t max_budget = 1 << 20;
+    /// Multiplier applied after a fallback (> 1).
+    double grow_factor = 2.0;
+    /// Elements removed after a comfortable accept.
+    std::size_t shrink_step = 64;
+    /// Accepts with estimated error below `shrink_headroom * epsilon`
+    /// trigger shrinking (in (0, 1)).
+    double shrink_headroom = 0.5;
+
+    Status Validate() const;
+  };
+
+  static Result<BudgetController> Make(const Options& options);
+
+  /// Budget for the next window.
+  std::size_t budget() const { return budget_; }
+
+  /// Feedback from a completed window.
+  /// \param expedited   whether the window was expedited
+  /// \param epsilon_hat the estimator's error for the window
+  /// \param epsilon     the user's bound
+  void OnWindowOutcome(bool expedited, double epsilon_hat, double epsilon);
+
+  std::uint64_t grows() const { return grows_; }
+  std::uint64_t shrinks() const { return shrinks_; }
+
+ private:
+  explicit BudgetController(const Options& options)
+      : options_(options), budget_(options.initial_budget) {}
+
+  Options options_;
+  std::size_t budget_;
+  std::uint64_t grows_ = 0;
+  std::uint64_t shrinks_ = 0;
+};
+
+}  // namespace spear

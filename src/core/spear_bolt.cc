@@ -1,0 +1,73 @@
+#include "core/spear_bolt.h"
+
+namespace spear {
+
+SpearBolt::SpearBolt(SpearOperatorConfig config,
+                     ValueExtractor value_extractor,
+                     KeyExtractor key_extractor, SecondaryStorage* storage,
+                     DecisionStatsCollector* decision_sink)
+    : config_(std::move(config)),
+      value_extractor_(std::move(value_extractor)),
+      key_extractor_(std::move(key_extractor)),
+      storage_(storage),
+      decision_sink_(decision_sink) {}
+
+Status SpearBolt::Finish(Emitter* out) {
+  (void)out;
+  if (decision_sink_ != nullptr && manager_ != nullptr) {
+    decision_sink_->Add(manager_->decision_stats());
+  }
+  return Status::OK();
+}
+
+Status SpearBolt::Prepare(const BoltContext& ctx) {
+  metrics_ = ctx.metrics;
+  manager_ = std::make_unique<SpearWindowManager>(
+      config_, value_extractor_, key_extractor_, storage_,
+      "spear-bolt-" + std::to_string(ctx.task_id));
+  return Status::OK();
+}
+
+Status SpearBolt::Execute(const Tuple& tuple, Emitter* out) {
+  std::int64_t coord;
+  if (config_.window.type == WindowType::kCountBased) {
+    coord = sequence_++;
+  } else {
+    coord = tuple.event_time();
+  }
+  manager_->OnTuple(coord, tuple);
+  if (config_.window.type == WindowType::kCountBased) {
+    return ProcessWatermark(sequence_, out);
+  }
+  return Status::OK();
+}
+
+Status SpearBolt::OnWatermark(Timestamp watermark, Emitter* out) {
+  if (config_.window.type == WindowType::kCountBased) return Status::OK();
+  return ProcessWatermark(watermark, out);
+}
+
+Status SpearBolt::ProcessWatermark(std::int64_t watermark, Emitter* out) {
+  Result<std::vector<WindowResult>> results =
+      manager_->OnWatermark(watermark);
+  if (!results.ok()) return results.status();
+
+  for (WindowResult& result : *results) {
+    if (metrics_ != nullptr) {
+      metrics_->RecordWindowNs(result.processing_ns);
+      // Memory used for producing the result: the budget state when
+      // expedited, the materialized window when exact (Fig. 7 semantics).
+      if (result.approximate) {
+        metrics_->RecordMemoryBytes(result.tuples_processed * sizeof(double) +
+                                    sizeof(RunningStats));
+      } else {
+        metrics_->RecordMemoryBytes(result.window_size *
+                                    (sizeof(Tuple) + 2 * sizeof(Value)));
+      }
+    }
+    for (Tuple& t : WindowResultToTuples(result)) out->Emit(std::move(t));
+  }
+  return Status::OK();
+}
+
+}  // namespace spear

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <memory>
+
+#include "core/spear_config.h"
+#include "core/spear_window_manager.h"
+#include "runtime/operator.h"
+#include "runtime/windowed_bolt.h"
+
+/// \file spear_bolt.h
+/// The runtime stage wrapping a SpearWindowManager — the paper's SpearBolt,
+/// which "disassociates execution into production and delivery of a
+/// result": production happens in the manager (approximate from the budget
+/// or exact from the window), delivery encodes each WindowResult as output
+/// tuples (same layout as the exact bolt, so sinks are interchangeable).
+
+namespace spear {
+
+/// \brief SPEAr's stateful windowed stage.
+class SpearBolt : public Bolt {
+ public:
+  /// \param config          the operation's window/aggregate/accuracy/budget
+  /// \param value_extractor aggregation value
+  /// \param key_extractor   group key; null => scalar
+  /// \param storage         spill target (required iff
+  ///                        config.buffer_memory_capacity > 0)
+  /// \param decision_sink optional collector receiving this worker's
+  ///        DecisionStats when the stream finishes
+  SpearBolt(SpearOperatorConfig config, ValueExtractor value_extractor,
+            KeyExtractor key_extractor = nullptr,
+            SecondaryStorage* storage = nullptr,
+            DecisionStatsCollector* decision_sink = nullptr);
+
+  Status Prepare(const BoltContext& ctx) override;
+  Status Execute(const Tuple& tuple, Emitter* out) override;
+  Status OnWatermark(Timestamp watermark, Emitter* out) override;
+  Status Finish(Emitter* out) override;
+
+  /// Expedite/fallback counters (valid after the run).
+  const DecisionStats& decision_stats() const {
+    return manager_->decision_stats();
+  }
+
+ private:
+  Status ProcessWatermark(std::int64_t watermark, Emitter* out);
+
+  const SpearOperatorConfig config_;
+  const ValueExtractor value_extractor_;
+  const KeyExtractor key_extractor_;
+  SecondaryStorage* storage_;
+  DecisionStatsCollector* decision_sink_;
+  std::unique_ptr<SpearWindowManager> manager_;
+  WorkerMetrics* metrics_ = nullptr;
+  std::int64_t sequence_ = 0;
+};
+
+}  // namespace spear

@@ -1,0 +1,145 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/accuracy_spec.h"
+#include "core/budget_controller.h"
+#include "core/estimators.h"
+#include "ops/aggregate.h"
+#include "stats/error_metrics.h"
+#include "stats/sample_size.h"
+#include "window/window_spec.h"
+
+/// \file spear_config.h
+/// Everything a SPEAr stateful operation needs beyond the exact operator:
+/// the accuracy spec, the budget, and the knobs the paper's experiments
+/// toggle (incremental optimization on/off, known group count, error norm,
+/// quantile bound).
+
+namespace spear {
+
+/// \brief Configuration of one SPEAr stateful windowed operation.
+struct SpearOperatorConfig {
+  AggregateSpec aggregate = AggregateSpec::Mean();
+  WindowSpec window = WindowSpec::TumblingTime(Minutes(1));
+  AccuracySpec accuracy;
+  Budget budget = Budget::Tuples(1000);
+
+  /// Number of distinct groups declared at CQ submission; 0 = unknown.
+  /// When known, SPEAr builds the stratified sample at tuple arrival by
+  /// splitting b equally among groups (GCM's configuration in the paper).
+  std::size_t known_num_groups = 0;
+
+  /// Norm aggregating per-group errors into epsilon_hat (paper: L1).
+  GroupErrorNorm group_error_norm = GroupErrorNorm::kL1;
+
+  /// Bound used by the quantile budget test. The normal rank bound is the
+  /// default (it matches the paper's budgets, e.g. b=150 for the DEC
+  /// median at eps=10%); kHoeffding is the distribution-free conservative
+  /// alternative.
+  QuantileBound quantile_bound = QuantileBound::kNormalRank;
+
+  /// Non-holistic scalar fast path: update R_w at tuple arrival and emit
+  /// it exactly at watermark (Sec. 4.1). The Fig. 11/12 experiments turn
+  /// this off to exercise the generic sampling path.
+  bool incremental_optimization = true;
+
+  /// Optional user-supplied accuracy estimation for custom approximate
+  /// operations; overrides the built-in scalar estimators when set.
+  CustomScalarEstimator custom_estimator;
+
+  /// Online budget adaptation (the paper's future-work extension): when
+  /// true, each new window's sample budget comes from an AIMD
+  /// BudgetController seeded with `budget` and bounded by
+  /// `adaptive_options` — fallbacks grow it, comfortable accepts shrink
+  /// it. When false (default, the paper's configuration), the budget is
+  /// fixed.
+  bool adaptive_budget = false;
+  BudgetController::Options adaptive_options;
+
+  /// Raw tuple buffer budget in tuples before spilling to S (0 =
+  /// unlimited, no spill).
+  std::size_t buffer_memory_capacity = 0;
+
+  /// Seed for the reservoir samplers (deterministic experiments).
+  std::uint64_t seed = 0x5EA4;
+
+  Status Validate() const {
+    SPEAR_RETURN_NOT_OK(accuracy.Validate());
+    SPEAR_RETURN_NOT_OK(budget.Validate());
+    if (!window.IsValid()) return Status::Invalid("invalid window spec");
+    if (aggregate.kind == AggregateKind::kPercentile &&
+        !(aggregate.phi >= 0.0 && aggregate.phi <= 1.0)) {
+      return Status::Invalid("percentile phi must be in [0, 1]");
+    }
+    return Status::OK();
+  }
+};
+
+/// \brief Per-operator counters describing SPEAr's expedite/fallback
+/// decisions — the observability used by Figs. 10-12.
+struct DecisionStats {
+  std::uint64_t windows_total = 0;
+  std::uint64_t windows_expedited = 0;
+  std::uint64_t windows_exact = 0;
+  /// Tuples ingested at tuple arrival (across all windows).
+  std::uint64_t tuples_seen = 0;
+  /// Tuples aggregated at watermark arrival (sample sizes on the
+  /// expedited path, full windows on the exact path).
+  std::uint64_t tuples_processed = 0;
+  std::uint64_t late_tuples = 0;
+
+  double ExpediteRate() const {
+    return windows_total == 0
+               ? 0.0
+               : static_cast<double>(windows_expedited) /
+                     static_cast<double>(windows_total);
+  }
+
+  /// Element-wise sum (for aggregating across workers).
+  void Accumulate(const DecisionStats& other) {
+    windows_total += other.windows_total;
+    windows_expedited += other.windows_expedited;
+    windows_exact += other.windows_exact;
+    tuples_seen += other.tuples_seen;
+    tuples_processed += other.tuples_processed;
+    late_tuples += other.late_tuples;
+  }
+};
+
+/// \brief Thread-safe sink collecting each worker's DecisionStats at the
+/// end of a run (wired through SpearTopologyBuilder::CollectDecisions so
+/// benches can report expedite rates, as in Figs. 10-12).
+class DecisionStatsCollector {
+ public:
+  void Add(const DecisionStats& stats) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    per_worker_.push_back(stats);
+  }
+
+  /// Sum across workers.
+  DecisionStats Total() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    DecisionStats total;
+    for (const DecisionStats& s : per_worker_) total.Accumulate(s);
+    return total;
+  }
+
+  std::vector<DecisionStats> PerWorker() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return per_worker_;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    per_worker_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<DecisionStats> per_worker_;
+};
+
+}  // namespace spear

@@ -1,0 +1,271 @@
+#include "core/spear_topology_builder.h"
+
+#include "runtime/common_bolts.h"
+#include "runtime/gk_quantile_bolt.h"
+
+namespace spear {
+
+const char* ExecutionEngineName(ExecutionEngine engine) {
+  switch (engine) {
+    case ExecutionEngine::kSpear:
+      return "SPEAr";
+    case ExecutionEngine::kExact:
+      return "Storm";
+    case ExecutionEngine::kExactMulti:
+      return "Storm-multibuf";
+    case ExecutionEngine::kIncremental:
+      return "Inc-Storm";
+    case ExecutionEngine::kCountMin:
+      return "CountMin";
+    case ExecutionEngine::kGkQuantile:
+      return "GK";
+  }
+  return "?";
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::Source(
+    std::shared_ptr<Spout> spout, DurationMs watermark_interval,
+    DurationMs max_lateness) {
+  spout_ = std::move(spout);
+  watermark_interval_ = watermark_interval;
+  max_lateness_ = max_lateness;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::Time(std::size_t time_field) {
+  has_time_stage_ = true;
+  time_field_ = time_field;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::SlidingWindowOf(DurationMs range,
+                                                            DurationMs slide) {
+  config_.window = WindowSpec::SlidingTime(range, slide);
+  has_window_ = true;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::TumblingWindowOf(DurationMs range) {
+  config_.window = WindowSpec::TumblingTime(range);
+  has_window_ = true;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::SlidingCountWindowOf(
+    std::int64_t range, std::int64_t slide) {
+  config_.window = WindowSpec::SlidingCount(range, slide);
+  has_window_ = true;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::TumblingCountWindowOf(
+    std::int64_t range) {
+  config_.window = WindowSpec::TumblingCount(range);
+  has_window_ = true;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::Count() {
+  config_.aggregate = AggregateSpec::Count();
+  value_extractor_ = [](const Tuple&) { return 1.0; };
+  has_aggregate_ = true;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::Sum(ValueExtractor value) {
+  config_.aggregate = AggregateSpec::Sum();
+  value_extractor_ = std::move(value);
+  has_aggregate_ = true;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::Mean(ValueExtractor value) {
+  config_.aggregate = AggregateSpec::Mean();
+  value_extractor_ = std::move(value);
+  has_aggregate_ = true;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::Variance(ValueExtractor value) {
+  config_.aggregate = AggregateSpec::Variance();
+  value_extractor_ = std::move(value);
+  has_aggregate_ = true;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::StdDev(ValueExtractor value) {
+  config_.aggregate = AggregateSpec::StdDev();
+  value_extractor_ = std::move(value);
+  has_aggregate_ = true;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::Percentile(ValueExtractor value,
+                                                       double phi) {
+  config_.aggregate = AggregateSpec::Percentile(phi);
+  value_extractor_ = std::move(value);
+  has_aggregate_ = true;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::Median(ValueExtractor value) {
+  return Percentile(std::move(value), 0.5);
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::GroupBy(KeyExtractor key) {
+  key_extractor_ = std::move(key);
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::SetBudget(Budget budget) {
+  config_.budget = budget;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::Error(double epsilon,
+                                                  double confidence) {
+  config_.accuracy.epsilon = epsilon;
+  config_.accuracy.confidence = confidence;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::KnownGroups(
+    std::size_t num_groups) {
+  config_.known_num_groups = num_groups;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::DisableIncrementalOptimization() {
+  config_.incremental_optimization = false;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::AdaptiveBudget(
+    BudgetController::Options options) {
+  config_.adaptive_budget = true;
+  config_.adaptive_options = options;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::CustomEstimator(
+    CustomScalarEstimator estimator) {
+  config_.custom_estimator = std::move(estimator);
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::CollectDecisions(
+    DecisionStatsCollector* sink) {
+  decision_sink_ = sink;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::Engine(ExecutionEngine engine) {
+  engine_ = engine;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::Parallelism(int workers) {
+  parallelism_ = workers;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::SpillOver(
+    std::size_t memory_capacity, SecondaryStorage* storage) {
+  config_.buffer_memory_capacity = memory_capacity;
+  storage_ = storage;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::QueueCapacity(
+    std::size_t capacity) {
+  queue_capacity_ = capacity;
+  return *this;
+}
+
+Result<Topology> SpearTopologyBuilder::Build() const {
+  if (!spout_) return Status::Invalid("CQ has no source");
+  if (!has_window_) return Status::Invalid("CQ has no window definition");
+  if (!has_aggregate_) return Status::Invalid("CQ has no stateful operation");
+  SPEAR_RETURN_NOT_OK(config_.Validate());
+  if (parallelism_ < 1) return Status::Invalid("parallelism must be >= 1");
+  if (engine_ == ExecutionEngine::kIncremental &&
+      !config_.aggregate.IsIncremental()) {
+    return Status::Invalid(
+        "incremental engine cannot run holistic aggregates");
+  }
+  if (engine_ == ExecutionEngine::kCountMin &&
+      (!key_extractor_ || config_.aggregate.kind != AggregateKind::kMean)) {
+    return Status::Invalid(
+        "CountMin engine supports the grouped mean only");
+  }
+  if (engine_ == ExecutionEngine::kGkQuantile &&
+      (key_extractor_ || !config_.aggregate.IsHolistic())) {
+    return Status::Invalid(
+        "GK engine supports scalar percentiles only");
+  }
+
+  TopologyBuilder builder;
+  builder.Source(spout_, watermark_interval_, max_lateness_);
+  builder.QueueCapacity(queue_capacity_);
+
+  if (has_time_stage_) {
+    const std::size_t field = time_field_;
+    builder.Stage("time", 1, Partitioner::Shuffle(), [field](int) {
+      return std::make_unique<TimeAssignBolt>(field);
+    });
+  }
+
+  // Grouped operations need fields grouping so each distinct group lands
+  // on exactly one worker; scalar operations shuffle.
+  Partitioner input = key_extractor_
+                          ? Partitioner::Fields(key_extractor_)
+                          : Partitioner::Shuffle();
+
+  // Copy the configuration into the factory (each worker gets its own
+  // bolt instance, as in Storm).
+  const SpearOperatorConfig config = config_;
+  const ValueExtractor value = value_extractor_;
+  const KeyExtractor key = key_extractor_;
+  SecondaryStorage* storage = storage_;
+  const ExecutionEngine engine = engine_;
+  DecisionStatsCollector* decision_sink = decision_sink_;
+
+  builder.Stage(
+      StatefulStageName(), parallelism_, std::move(input),
+      [config, value, key, storage, engine,
+       decision_sink](int) -> std::unique_ptr<Bolt> {
+        switch (engine) {
+          case ExecutionEngine::kSpear:
+            return std::make_unique<SpearBolt>(config, value, key, storage,
+                                               decision_sink);
+          case ExecutionEngine::kExact:
+          case ExecutionEngine::kExactMulti: {
+            ExactWindowedBoltConfig exact;
+            exact.window = config.window;
+            exact.aggregate = config.aggregate;
+            exact.value_extractor = value;
+            exact.key_extractor = key;
+            exact.use_multi_buffer = engine == ExecutionEngine::kExactMulti;
+            exact.memory_capacity = config.buffer_memory_capacity;
+            exact.storage = storage;
+            return std::make_unique<ExactWindowedBolt>(std::move(exact));
+          }
+          case ExecutionEngine::kIncremental:
+            return std::make_unique<IncrementalWindowedBolt>(
+                config.window, config.aggregate, value, key);
+          case ExecutionEngine::kCountMin:
+            return std::make_unique<CountMinWindowedBolt>(
+                config.window, value, key, config.accuracy.epsilon,
+                config.accuracy.confidence);
+          case ExecutionEngine::kGkQuantile:
+            return std::make_unique<GkQuantileBolt>(
+                config.window, value, config.aggregate.phi,
+                config.accuracy.epsilon);
+        }
+        return nullptr;
+      });
+
+  return builder.Build();
+}
+
+}  // namespace spear

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/spear_bolt.h"
+#include "core/spear_config.h"
+#include "runtime/countmin_bolt.h"
+#include "runtime/topology.h"
+#include "runtime/windowed_bolt.h"
+
+/// \file spear_topology_builder.h
+/// The user-facing CQ API of the paper's Fig. 5, in C++:
+///
+///   auto cq = SpearTopologyBuilder()
+///                 .Source(rides)
+///                 .Time(0)                                // x -> x.time
+///                 .SlidingWindowOf(Minutes(15), Minutes(5))
+///                 .Percentile(NumericField(2), 0.95)      // x -> x.fare
+///                 .Budget(Budget::Bytes(1 * kMiB))
+///                 .Error(0.10, 0.95)
+///                 .Build();
+///
+/// The same CQ can be compiled to different engines (SPEAr, exact Storm
+/// baseline, incremental, CountMin) via Engine(), which is how the
+/// benchmark harness runs identical queries across systems.
+
+namespace spear {
+
+/// Which execution engine materializes the stateful operation.
+enum class ExecutionEngine {
+  kSpear,        ///< SPEAr (default): approximate with accuracy guarantees
+  kExact,        ///< Storm baseline: exact, single-buffer design
+  kExactMulti,   ///< exact with the multiple-buffers (Flink) design
+  kIncremental,  ///< Inc-Storm: incremental accumulators (non-holistic)
+  kCountMin,     ///< Storm + CountMin sketch (grouped mean only)
+  kGkQuantile,   ///< Greenwald-Khanna summary (scalar percentile only)
+};
+
+const char* ExecutionEngineName(ExecutionEngine engine);
+
+/// \brief Fluent CQ definition with SPEAr's budget/error extensions.
+class SpearTopologyBuilder {
+ public:
+  /// Sets the input stream and its watermarking policy.
+  SpearTopologyBuilder& Source(std::shared_ptr<Spout> spout,
+                               DurationMs watermark_interval = 0,
+                               DurationMs max_lateness = 0);
+
+  /// Adds the `time(x -> x.field)` annotation stage.
+  SpearTopologyBuilder& Time(std::size_t time_field);
+
+  SpearTopologyBuilder& SlidingWindowOf(DurationMs range, DurationMs slide);
+  SpearTopologyBuilder& TumblingWindowOf(DurationMs range);
+  SpearTopologyBuilder& SlidingCountWindowOf(std::int64_t range,
+                                             std::int64_t slide);
+  SpearTopologyBuilder& TumblingCountWindowOf(std::int64_t range);
+
+  // ---- stateful operation (exactly one) --------------------------------
+  SpearTopologyBuilder& Count();
+  SpearTopologyBuilder& Sum(ValueExtractor value);
+  SpearTopologyBuilder& Mean(ValueExtractor value);
+  SpearTopologyBuilder& Variance(ValueExtractor value);
+  SpearTopologyBuilder& StdDev(ValueExtractor value);
+  SpearTopologyBuilder& Percentile(ValueExtractor value, double phi);
+  SpearTopologyBuilder& Median(ValueExtractor value);
+
+  /// Turns the operation into a grouped one (a result per distinct group).
+  SpearTopologyBuilder& GroupBy(KeyExtractor key);
+
+  // ---- SPEAr extensions (Fig. 5) ----------------------------------------
+  SpearTopologyBuilder& SetBudget(Budget budget);
+  /// `.error(10%, 95%)`: relative error bound and confidence.
+  SpearTopologyBuilder& Error(double epsilon, double confidence);
+
+  /// Declares the number of distinct groups at submission time (enables
+  /// tuple-arrival stratified sampling, the GCM configuration).
+  SpearTopologyBuilder& KnownGroups(std::size_t num_groups);
+
+  /// Disables the non-holistic incremental fast path (Figs. 11-12).
+  SpearTopologyBuilder& DisableIncrementalOptimization();
+
+  /// Enables online budget adaptation (the paper's future-work extension):
+  /// the configured budget seeds an AIMD controller that grows on
+  /// fallbacks and shrinks on comfortable accepts.
+  SpearTopologyBuilder& AdaptiveBudget(
+      BudgetController::Options options = BudgetController::Options{});
+
+  /// Installs a user-defined accuracy estimator (custom approximate
+  /// stateful operations).
+  SpearTopologyBuilder& CustomEstimator(CustomScalarEstimator estimator);
+
+  /// Collects each SPEAr worker's DecisionStats at end of stream (SPEAr
+  /// engine only; the harness for Figs. 10-12 uses this).
+  SpearTopologyBuilder& CollectDecisions(DecisionStatsCollector* sink);
+
+  // ---- execution configuration ------------------------------------------
+  SpearTopologyBuilder& Engine(ExecutionEngine engine);
+  SpearTopologyBuilder& Parallelism(int workers);
+  /// Worker raw-buffer capacity in tuples before spilling to `storage`.
+  SpearTopologyBuilder& SpillOver(std::size_t memory_capacity,
+                                  SecondaryStorage* storage);
+  SpearTopologyBuilder& QueueCapacity(std::size_t capacity);
+
+  /// Name of the stateful stage in metrics ("stateful").
+  static const char* StatefulStageName() { return "stateful"; }
+
+  /// Validates the CQ and compiles it to an executable topology.
+  Result<Topology> Build() const;
+
+ private:
+  std::shared_ptr<Spout> spout_;
+  DurationMs watermark_interval_ = 0;
+  DurationMs max_lateness_ = 0;
+  bool has_time_stage_ = false;
+  std::size_t time_field_ = 0;
+
+  bool has_window_ = false;
+  bool has_aggregate_ = false;
+  SpearOperatorConfig config_;
+  ValueExtractor value_extractor_;
+  KeyExtractor key_extractor_;
+
+  ExecutionEngine engine_ = ExecutionEngine::kSpear;
+  int parallelism_ = 1;
+  SecondaryStorage* storage_ = nullptr;
+  std::size_t queue_capacity_ = 1024;
+  DecisionStatsCollector* decision_sink_ = nullptr;
+};
+
+}  // namespace spear

@@ -1,0 +1,559 @@
+#include "core/spear_window_manager.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/time.h"
+#include "stats/quantile.h"
+#include "window/window_assigner.h"
+
+namespace spear {
+
+const char* SpearModeName(SpearMode mode) {
+  switch (mode) {
+    case SpearMode::kScalarIncremental:
+      return "scalar-incremental";
+    case SpearMode::kScalarSampled:
+      return "scalar-sampled";
+    case SpearMode::kScalarQuantile:
+      return "scalar-quantile";
+    case SpearMode::kGroupedUnknown:
+      return "grouped-unknown";
+    case SpearMode::kGroupedKnown:
+      return "grouped-known";
+  }
+  return "?";
+}
+
+SpearMode SpearWindowManager::DeriveMode(const SpearOperatorConfig& config,
+                                         bool is_grouped) {
+  if (is_grouped) {
+    return config.known_num_groups > 0 ? SpearMode::kGroupedKnown
+                                       : SpearMode::kGroupedUnknown;
+  }
+  if (config.aggregate.IsHolistic()) return SpearMode::kScalarQuantile;
+  if (config.custom_estimator) return SpearMode::kScalarSampled;
+  return config.incremental_optimization ? SpearMode::kScalarIncremental
+                                         : SpearMode::kScalarSampled;
+}
+
+SpearWindowManager::SpearWindowManager(SpearOperatorConfig config,
+                                       ValueExtractor value_extractor,
+                                       KeyExtractor key_extractor,
+                                       SecondaryStorage* storage,
+                                       std::string spill_key)
+    : config_(std::move(config)),
+      mode_(DeriveMode(config_, static_cast<bool>(key_extractor))),
+      value_extractor_(std::move(value_extractor)),
+      key_extractor_(std::move(key_extractor)),
+      storage_(storage),
+      spill_key_(std::move(spill_key)),
+      budget_elements_(config_.budget.ElementsFor(sizeof(double))),
+      // Per the paper, b holds floor(b / (r + 4 + f)) groups' metadata;
+      // for tuple-denominated budgets the capacity is one group per slot.
+      max_groups_(config_.budget.IsByteDenominated()
+                      ? config_.budget.ElementsFor(8 + 4 + sizeof(double))
+                      : budget_elements_),
+      exact_operator_(config_.aggregate, value_extractor_, key_extractor_),
+      last_watermark_(kMinTimestamp) {
+  SPEAR_CHECK(config_.Validate().ok());
+  SPEAR_CHECK(budget_elements_ > 0);
+  SPEAR_CHECK(config_.buffer_memory_capacity == 0 || storage_ != nullptr);
+  if (config_.adaptive_budget) {
+    BudgetController::Options options = config_.adaptive_options;
+    options.initial_budget = budget_elements_;
+    options.min_budget = std::min(options.min_budget, budget_elements_);
+    options.max_budget = std::max(options.max_budget, budget_elements_);
+    auto controller = BudgetController::Make(options);
+    SPEAR_CHECK(controller.ok());
+    budget_controller_.emplace(std::move(*controller));
+  }
+}
+
+std::size_t SpearWindowManager::budget_elements() const {
+  return budget_controller_ ? budget_controller_->budget() : budget_elements_;
+}
+
+SpearWindowManager::WindowState& SpearWindowManager::StateFor(
+    std::int64_t window_start) {
+  auto it = window_states_.find(window_start);
+  if (it != window_states_.end()) return it->second;
+  WindowState state;
+  // Snapshot the budget the window opens with (fixed, or the adaptive
+  // controller's current value).
+  state.budget = budget_elements();
+  switch (mode_) {
+    case SpearMode::kScalarIncremental:
+    case SpearMode::kScalarSampled:
+    case SpearMode::kScalarQuantile:
+      state.sample = std::make_unique<ReservoirSampler<double>>(
+          state.budget, config_.seed + sampler_seq_++);
+      break;
+    case SpearMode::kGroupedUnknown:
+    case SpearMode::kGroupedKnown:
+      state.groups = std::make_unique<GroupStatsTracker>(
+          config_.budget.IsByteDenominated() ? max_groups_ : state.budget);
+      break;
+  }
+  return window_states_.emplace(window_start, std::move(state)).first->second;
+}
+
+void SpearWindowManager::UpdateWindowState(WindowState* state,
+                                           const Tuple& tuple) {
+  ++state->count;
+  const double value = value_extractor_(tuple);
+  switch (mode_) {
+    case SpearMode::kScalarIncremental:
+    case SpearMode::kScalarSampled:
+    case SpearMode::kScalarQuantile:
+      state->stats.Update(value);
+      state->sample->Offer(value);
+      break;
+    case SpearMode::kGroupedUnknown:
+      state->groups->Update(key_extractor_(tuple), value);
+      break;
+    case SpearMode::kGroupedKnown: {
+      const std::string key = key_extractor_(tuple);
+      state->groups->Update(key, value);
+      auto it = state->group_samples.find(key);
+      if (it == state->group_samples.end()) {
+        const std::size_t cap = std::max<std::size_t>(
+            state->budget / config_.known_num_groups, 1);
+        it = state->group_samples
+                 .emplace(key, ReservoirSampler<double>(
+                                   cap, config_.seed + sampler_seq_++))
+                 .first;
+      }
+      it->second.Offer(value);
+      break;
+    }
+  }
+}
+
+void SpearWindowManager::NotifyDeliveryAnomaly() {
+  for (auto& [start, state] : window_states_) state.anomalous = true;
+}
+
+void SpearWindowManager::OnTuple(std::int64_t coord, Tuple tuple) {
+  if (coord < last_watermark_) {
+    ++decision_stats_.late_tuples;
+    // Still-active windows that should have contained this tuple now hold
+    // incomplete state: flag the delivery anomaly (Sec. 4.1).
+    for (auto& [start, state] : window_states_) {
+      if (coord >= start && coord < start + config_.window.range) {
+        state.anomalous = true;
+      }
+    }
+    return;
+  }
+  ++decision_stats_.tuples_seen;
+  if (!saw_any_tuple_) {
+    next_window_start_ = FirstWindowStartFor(config_.window, coord);
+    saw_any_tuple_ = true;
+  } else {
+    next_window_start_ =
+        std::min(next_window_start_, FirstWindowStartFor(config_.window, coord));
+  }
+
+  // Alg. 1: update the budget state of every window the tuple joins
+  // (tumbling fast path avoids the per-tuple window-list allocation).
+  if (config_.window.IsTumbling()) {
+    UpdateWindowState(&StateFor(LastWindowStartFor(config_.window, coord)),
+                      tuple);
+  } else {
+    for (const WindowBounds& w : AssignWindows(config_.window, coord)) {
+      UpdateWindowState(&StateFor(w.start), tuple);
+    }
+  }
+
+  // Raw tuple custody: memory within the worker budget, S beyond it.
+  if (config_.buffer_memory_capacity != 0 &&
+      buffer_.size() >= config_.buffer_memory_capacity) {
+    Tuple payload = std::move(tuple);
+    payload.AppendField(Value(payload.event_time()));
+    payload.set_event_time(coord);
+    storage_->Store(spill_key_ + "/" + std::to_string(spill_seq_),
+                    std::move(payload));
+    spilled_coords_.push_back(coord);
+    return;
+  }
+  buffer_.push_back(Entry{coord, std::move(tuple)});
+}
+
+Status SpearWindowManager::UnspillAll() {
+  if (spilled_coords_.empty()) return Status::OK();
+  SPEAR_ASSIGN_OR_RETURN(
+      std::vector<Tuple> run,
+      storage_->Get(spill_key_ + "/" + std::to_string(spill_seq_)));
+  for (auto& t : run) {
+    const std::int64_t coord = t.event_time();
+    t.set_event_time(t.PopField().AsInt64());
+    buffer_.push_back(Entry{coord, std::move(t)});
+  }
+  storage_->Erase(spill_key_ + "/" + std::to_string(spill_seq_));
+  ++spill_seq_;
+  spilled_coords_.clear();
+  return Status::OK();
+}
+
+Result<ScalarEstimate> SpearWindowManager::EstimateScalarForState(
+    const WindowState& state) {
+  if (config_.custom_estimator) {
+    return config_.custom_estimator(state.sample->sample(), state.stats,
+                                    state.count, config_.accuracy);
+  }
+  if (mode_ == SpearMode::kScalarQuantile) {
+    return EstimateScalarQuantile(config_.aggregate.phi,
+                                  state.sample->sample(), state.count,
+                                  config_.accuracy, config_.quantile_bound);
+  }
+  return EstimateScalar(config_.aggregate, state.sample->sample(),
+                        state.stats, state.count, config_.accuracy);
+}
+
+Status SpearWindowManager::PopulateGroupedResultFromScan(
+    const WindowBounds& bounds, const std::vector<GroupAllocation>& allocs,
+    WindowResult* result) {
+  // Build the stratified sample with one pass over the buffer — the scan
+  // the single-buffer design already owes for eviction. One lookup per
+  // tuple; samplers are created lazily with Algorithm R (no init draws —
+  // congress allocations are tiny for sparse groups, so Algorithm L's
+  // skip machinery would cost more than it saves).
+  struct GroupSample {
+    std::uint64_t want = 0;
+    std::unique_ptr<ReservoirSampler<double>> sampler;
+  };
+  std::unordered_map<std::string, GroupSample> samples;
+  samples.reserve(allocs.size() * 2);
+  for (const GroupAllocation& a : allocs) {
+    samples.emplace(a.key, GroupSample{a.sample_size, nullptr});
+  }
+
+  for (const Entry& e : buffer_) {
+    if (!bounds.Contains(e.coord)) continue;
+    const auto it = samples.find(key_extractor_(e.tuple));
+    if (it == samples.end()) continue;  // cannot happen: tracker saw all
+    if (it->second.sampler == nullptr) {
+      it->second.sampler = std::make_unique<ReservoirSampler<double>>(
+          it->second.want, config_.seed + sampler_seq_++,
+          ReservoirAlgorithm::kAlgorithmR);
+    }
+    it->second.sampler->Offer(value_extractor_(e.tuple));
+  }
+
+  result->is_grouped = true;
+  result->groups.reserve(allocs.size());
+  std::uint64_t processed = 0;
+  for (const GroupAllocation& a : allocs) {
+    const auto it = samples.find(a.key);
+    if (it == samples.end() || it->second.sampler == nullptr) {
+      return Status::Internal("group '" + a.key +
+                              "' tracked but absent from window scan");
+    }
+    const std::vector<double>& sample = it->second.sampler->sample();
+    processed += sample.size();
+    double v = 0.0;
+    if (config_.aggregate.IsHolistic()) {
+      SPEAR_ASSIGN_OR_RETURN(
+          v, ExactQuantile(sample, config_.aggregate.phi));
+    } else if (config_.aggregate.kind == AggregateKind::kCount) {
+      v = static_cast<double>(a.frequency);  // exact from the tracker
+    } else if (config_.aggregate.kind == AggregateKind::kSum) {
+      RunningStats s;
+      for (double x : sample) s.Update(x);
+      v = s.mean() * static_cast<double>(a.frequency);
+    } else {
+      RunningStats s;
+      for (double x : sample) s.Update(x);
+      SPEAR_ASSIGN_OR_RETURN(v, EvaluateFromStats(config_.aggregate, s));
+    }
+    result->groups.emplace_back(a.key, v);
+  }
+  result->tuples_processed = processed;
+  return Status::OK();
+}
+
+Status SpearWindowManager::PopulateGroupedResultFromReservoirs(
+    const WindowState& state, WindowResult* result) {
+  result->is_grouped = true;
+  result->groups.reserve(state.group_samples.size());
+  std::uint64_t processed = 0;
+  for (const auto& [key, stats] : state.groups->groups()) {
+    const auto it = state.group_samples.find(key);
+    if (it == state.group_samples.end()) {
+      return Status::Internal("group '" + key + "' has no reservoir");
+    }
+    const std::vector<double>& sample = it->second.sample();
+    processed += sample.size();
+    double v = 0.0;
+    if (config_.aggregate.IsHolistic()) {
+      SPEAR_ASSIGN_OR_RETURN(
+          v, ExactQuantile(sample, config_.aggregate.phi));
+    } else if (config_.aggregate.kind == AggregateKind::kCount) {
+      v = static_cast<double>(stats.count());
+    } else if (config_.aggregate.kind == AggregateKind::kSum) {
+      RunningStats s;
+      for (double x : sample) s.Update(x);
+      v = s.mean() * static_cast<double>(stats.count());
+    } else {
+      RunningStats s;
+      for (double x : sample) s.Update(x);
+      SPEAR_ASSIGN_OR_RETURN(v, EvaluateFromStats(config_.aggregate, s));
+    }
+    result->groups.emplace_back(key, v);
+  }
+  std::sort(result->groups.begin(), result->groups.end());
+  result->tuples_processed = processed;
+  return Status::OK();
+}
+
+Result<CompleteWindow> SpearWindowManager::MaterializeWindow(
+    const WindowBounds& bounds) {
+  CompleteWindow window;
+  window.bounds = bounds;
+  for (const Entry& e : buffer_) {
+    if (bounds.Contains(e.coord)) window.tuples.push_back(e.tuple);
+  }
+  return window;
+}
+
+Result<WindowResult> SpearWindowManager::DecideWindow(
+    const WindowBounds& bounds, WindowState* state, bool* needs_scan,
+    bool* needs_exact) {
+  *needs_scan = false;
+  *needs_exact = false;
+
+  WindowResult result;
+  result.bounds = bounds;
+  result.window_size = state->count;
+
+  switch (mode_) {
+    case SpearMode::kScalarIncremental: {
+      if (!state->anomalous) {
+        // Exact result from the running accumulator; no watermark-time
+        // work.
+        SPEAR_ASSIGN_OR_RETURN(result.scalar,
+                               EvaluateFromStats(config_.aggregate,
+                                                 state->stats));
+        result.approximate = false;
+        result.tuples_processed = 0;
+        return result;
+      }
+      // Delivery anomaly: the accumulator may have missed tuples. Fall
+      // back to the budget sample and its accuracy estimate; only rescan
+      // the window when even that fails the spec (paper Sec. 4.1).
+      SPEAR_ASSIGN_OR_RETURN(const ScalarEstimate est,
+                             EstimateScalarForState(*state));
+      if (est.accepted) {
+        result.scalar = est.estimate;
+        result.approximate = true;
+        result.estimated_error = est.epsilon_hat;
+        result.tuples_processed = state->sample->sample().size();
+        return result;
+      }
+      *needs_exact = true;
+      return result;
+    }
+    case SpearMode::kScalarSampled:
+    case SpearMode::kScalarQuantile: {
+      SPEAR_ASSIGN_OR_RETURN(const ScalarEstimate est,
+                             EstimateScalarForState(*state));
+      if (est.accepted) {
+        result.scalar = est.estimate;
+        result.approximate = true;
+        result.estimated_error = est.epsilon_hat;
+        result.tuples_processed = state->sample->sample().size();
+        return result;
+      }
+      *needs_exact = true;
+      return result;
+    }
+    case SpearMode::kGroupedUnknown: {
+      SPEAR_ASSIGN_OR_RETURN(
+          const GroupedEstimate est,
+          EstimateGrouped(config_.aggregate, *state->groups, state->budget,
+                          config_.accuracy, config_.group_error_norm,
+                          config_.quantile_bound));
+      if (est.accepted) {
+        result.approximate = true;
+        result.estimated_error = est.epsilon_hat;
+        SPEAR_RETURN_NOT_OK(
+            PopulateGroupedResultFromScan(bounds, est.allocations, &result));
+        *needs_scan = true;
+        return result;
+      }
+      *needs_exact = true;
+      return result;
+    }
+    case SpearMode::kGroupedKnown: {
+      // The declared group count bounds the budget split; more groups than
+      // declared means the reservoirs are undersized — fall back.
+      if (state->groups->overflowed() ||
+          state->groups->num_groups() > config_.known_num_groups) {
+        *needs_exact = true;
+        return result;
+      }
+      std::vector<GroupAllocation> allocations;
+      allocations.reserve(state->groups->num_groups());
+      for (const auto& [key, stats] : state->groups->groups()) {
+        const auto it = state->group_samples.find(key);
+        const std::uint64_t n =
+            it == state->group_samples.end() ? 0 : it->second.sample().size();
+        allocations.push_back(GroupAllocation{key, stats.count(), n});
+      }
+      std::sort(allocations.begin(), allocations.end(),
+                [](const GroupAllocation& a, const GroupAllocation& b) {
+                  return a.key < b.key;
+                });
+      SPEAR_ASSIGN_OR_RETURN(
+          const GroupedEstimate est,
+          EstimateGroupedWithAllocations(
+              config_.aggregate, *state->groups, std::move(allocations),
+              config_.accuracy, config_.group_error_norm,
+              config_.quantile_bound));
+      if (est.accepted) {
+        result.approximate = true;
+        result.estimated_error = est.epsilon_hat;
+        SPEAR_RETURN_NOT_OK(
+            PopulateGroupedResultFromReservoirs(*state, &result));
+        return result;
+      }
+      *needs_exact = true;
+      return result;
+    }
+  }
+  return Status::Internal("unknown mode");
+}
+
+Result<std::vector<WindowResult>> SpearWindowManager::OnWatermark(
+    std::int64_t watermark) {
+  std::vector<WindowResult> out;
+  // Clamp (the end-of-stream watermark is kMaxTimestamp) so the window
+  // arithmetic below cannot overflow.
+  watermark = ClampWatermark(config_.window, watermark);
+  if (watermark <= last_watermark_) return out;
+  last_watermark_ = watermark;
+  if (!saw_any_tuple_) return out;
+  // Nothing can complete: O(1) exit. Every buffered non-late tuple keeps
+  // a state for each of its windows, so no state completing also means no
+  // tuple expires — eviction can wait.
+  if (window_states_.empty() ||
+      window_states_.begin()->first + config_.window.range > watermark) {
+    return out;
+  }
+
+  // Only windows with budget state can produce results; complete windows
+  // without state are empty and can never gain tuples, so iterating the
+  // (ordered) state map visits exactly the windows to emit.
+  while (!window_states_.empty() &&
+         window_states_.begin()->first + config_.window.range <= watermark) {
+    auto state_it = window_states_.begin();
+    const WindowBounds bounds{state_it->first,
+                              state_it->first + config_.window.range};
+    if (state_it->second.count > 0) {
+      ++decision_stats_.windows_total;
+      bool needs_scan = false;
+      bool needs_exact = false;
+
+      std::int64_t window_ns = 0;
+      WindowResult result;
+      {
+        ScopedTimerNs timer(&window_ns);
+        // The grouped accept path scans the buffer; make sure spilled
+        // tuples participate in the stratified sample.
+        if ((mode_ == SpearMode::kGroupedUnknown) &&
+            !spilled_coords_.empty()) {
+          SPEAR_RETURN_NOT_OK(UnspillAll());
+        }
+        SPEAR_ASSIGN_OR_RETURN(
+            result, DecideWindow(bounds, &state_it->second, &needs_scan,
+                                 &needs_exact));
+        if (needs_exact) {
+          // Alg. 2 line 5: g(S.get(tau_w)) — the whole window, possibly
+          // fetched back from S, processed exactly.
+          SPEAR_RETURN_NOT_OK(UnspillAll());
+          SPEAR_ASSIGN_OR_RETURN(CompleteWindow window,
+                                 MaterializeWindow(bounds));
+          SPEAR_ASSIGN_OR_RETURN(result, exact_operator_.Process(window));
+        }
+      }
+      result.processing_ns = window_ns;
+      if (needs_exact) {
+        ++decision_stats_.windows_exact;
+      } else {
+        ++decision_stats_.windows_expedited;
+      }
+      if (budget_controller_) {
+        budget_controller_->OnWindowOutcome(
+            !needs_exact,
+            result.approximate ? result.estimated_error
+                               : std::numeric_limits<double>::infinity(),
+            config_.accuracy.epsilon);
+      }
+      decision_stats_.tuples_processed += result.tuples_processed;
+      out.push_back(std::move(result));
+    }
+    window_states_.erase(state_it);
+  }
+
+  // Everything below the first incomplete window can never be needed.
+  next_window_start_ =
+      std::max(next_window_start_,
+               FirstIncompleteWindowStart(config_.window, watermark));
+
+  // Eviction is the single-buffer design's bookkeeping, not part of
+  // producing any window's result; it stays outside the per-window
+  // processing time, matching the paper's Storm-metrics methodology.
+  // (When a grouped window is expedited, the stratified-sample build that
+  // the paper fuses with this scan IS charged to that window, inside
+  // DecideWindow.)
+  EvictExpired();
+  return out;
+}
+
+void SpearWindowManager::EvictExpired() {
+  buffer_.erase(std::remove_if(buffer_.begin(), buffer_.end(),
+                               [&](const Entry& e) {
+                                 return e.coord < next_window_start_;
+                               }),
+                buffer_.end());
+  // Drop window states that can no longer complete (safety: normally the
+  // processing loop erased them).
+  while (!window_states_.empty() &&
+         window_states_.begin()->first < next_window_start_) {
+    window_states_.erase(window_states_.begin());
+  }
+  // Spilled run: discard wholesale once every coordinate expired; SPEAr
+  // never fetches data from S just to throw it away.
+  if (!spilled_coords_.empty()) {
+    const bool all_expired =
+        std::all_of(spilled_coords_.begin(), spilled_coords_.end(),
+                    [&](std::int64_t c) { return c < next_window_start_; });
+    if (all_expired) {
+      storage_->Erase(spill_key_ + "/" + std::to_string(spill_seq_));
+      ++spill_seq_;
+      spilled_coords_.clear();
+    }
+  }
+}
+
+std::size_t SpearWindowManager::BudgetMemoryBytes() const {
+  std::size_t total = 0;
+  for (const auto& [start, state] : window_states_) {
+    total += sizeof(WindowState);
+    if (state.sample) total += state.sample->sample().size() * sizeof(double);
+    if (state.groups) total += state.groups->EstimatedBytes();
+    for (const auto& [key, sampler] : state.group_samples) {
+      total += key.size() + sampler.sample().size() * sizeof(double);
+    }
+  }
+  return total;
+}
+
+std::size_t SpearWindowManager::BufferMemoryBytes() const {
+  std::size_t total = 0;
+  for (const Entry& e : buffer_) total += e.tuple.ByteSize();
+  return total;
+}
+
+}  // namespace spear

@@ -1,0 +1,199 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/spear_config.h"
+#include "ops/exact_operator.h"
+#include "ops/window_result.h"
+#include "stats/group_stats.h"
+#include "stats/reservoir_sampler.h"
+#include "storage/secondary_storage.h"
+#include "tuple/field_extractor.h"
+
+/// \file spear_window_manager.h
+/// SPEAr's extension of the single-buffer window manager — the paper's
+/// Algorithms 1 and 2 fused into Storm's tuple/watermark workflow
+/// (Sec. 4.1-4.2).
+///
+/// Tuple arrival (Alg. 1): the raw tuple enters the arrival-ordered buffer
+/// (spilling to S past the worker budget), and the *operation budget* b is
+/// updated in O(1): per-window reservoir sample + running moments (scalar),
+/// or per-group frequency/variance (grouped), or per-group reservoirs
+/// (grouped with a known group count).
+///
+/// Watermark arrival (Alg. 2): for every complete window, an accuracy
+/// estimate ε̂_w and approximate result R̂_w are produced from b alone. If
+/// ε̂_w <= ε, R̂_w is emitted — O(b) work, no access to the raw window; the
+/// single eviction scan the buffer design already pays doubles as the
+/// stratified-sample construction scan for grouped operations. Otherwise
+/// the whole window is materialized (possibly from S) and processed
+/// exactly, matching a normal SPE's cost.
+
+namespace spear {
+
+/// \brief SPEAr execution modes, derived from the operator configuration.
+enum class SpearMode {
+  /// Non-holistic scalar with incremental optimization: exact R_w from a
+  /// running accumulator; the budget sample is kept for anomaly recovery.
+  kScalarIncremental,
+  /// Scalar estimated from the reservoir sample (generic model path; also
+  /// used when a custom estimator is installed).
+  kScalarSampled,
+  /// Holistic scalar (percentile): sample-size budget test.
+  kScalarQuantile,
+  /// Grouped, group count unknown: frequencies/variances tracked in b;
+  /// stratified sample built during the eviction scan on accept.
+  kGroupedUnknown,
+  /// Grouped, group count declared at submission: per-group reservoirs
+  /// maintained at tuple arrival; no scan needed on accept.
+  kGroupedKnown,
+};
+
+const char* SpearModeName(SpearMode mode);
+
+/// \brief One SPEAr worker's stateful-operation manager.
+///
+/// Single-threaded; each runtime worker owns one instance.
+class SpearWindowManager {
+ public:
+  /// \param config         operation configuration (validated here)
+  /// \param value_extractor pulls the aggregated value out of a tuple
+  /// \param key_extractor  group key; null => scalar operation
+  /// \param storage        spill target; required when
+  ///                       config.buffer_memory_capacity > 0
+  /// \param spill_key      S key prefix for this worker
+  SpearWindowManager(SpearOperatorConfig config,
+                     ValueExtractor value_extractor,
+                     KeyExtractor key_extractor = nullptr,
+                     SecondaryStorage* storage = nullptr,
+                     std::string spill_key = "spear");
+
+  /// Alg. 1. `coord` is the tuple's window coordinate (event time or
+  /// sequence number).
+  void OnTuple(std::int64_t coord, Tuple tuple);
+
+  /// Alg. 2. Emits one WindowResult per complete non-empty window, in
+  /// ascending window order.
+  Result<std::vector<WindowResult>> OnWatermark(std::int64_t watermark);
+
+  /// Reports an external delivery anomaly (e.g. an upstream failure or
+  /// replay): every active window's incremental result is demoted to the
+  /// sample-estimate path. Late tuples trigger this automatically for the
+  /// active windows that should have contained them.
+  void NotifyDeliveryAnomaly();
+
+  SpearMode mode() const { return mode_; }
+  const SpearOperatorConfig& config() const { return config_; }
+  const DecisionStats& decision_stats() const { return decision_stats_; }
+
+  /// Tuples currently buffered (memory + spill).
+  std::size_t BufferedTuples() const {
+    return buffer_.size() + spilled_coords_.size();
+  }
+
+  /// Bytes of budget state (samples + statistics) across active windows —
+  /// the "memory used for producing the result" of Fig. 7.
+  std::size_t BudgetMemoryBytes() const;
+
+  /// Bytes of raw buffered tuples resident in memory.
+  std::size_t BufferMemoryBytes() const;
+
+  /// The per-window sample capacity derived from the budget (the value
+  /// new windows open with right now, when adaptive).
+  std::size_t budget_elements() const;
+
+  /// The adaptive controller, or null when the budget is fixed.
+  const BudgetController* budget_controller() const {
+    return budget_controller_ ? &*budget_controller_ : nullptr;
+  }
+
+ private:
+  struct Entry {
+    std::int64_t coord;
+    Tuple tuple;
+  };
+
+  /// Budget state of one active window.
+  struct WindowState {
+    /// Sample budget this window was opened with (fixed-budget managers
+    /// use the configured value; adaptive managers snapshot the
+    /// controller at window creation).
+    std::size_t budget = 0;
+    std::uint64_t count = 0;               ///< |S_w| so far (exact)
+    /// Delivery anomaly observed while this window was active (late or
+    /// dropped tuples): incremental results can no longer be trusted as
+    /// exact, so SPEAr falls back to the sample + accuracy estimate
+    /// (paper Sec. 4.1: "SPEAr uses b's contents only when an anomaly is
+    /// detected in tuple delivery").
+    bool anomalous = false;
+    RunningStats stats;                    ///< full-window moments (scalar)
+    std::unique_ptr<ReservoirSampler<double>> sample;  ///< scalar modes
+    std::unique_ptr<GroupStatsTracker> groups;         ///< grouped modes
+    /// Per-group reservoirs (kGroupedKnown only).
+    std::unordered_map<std::string, ReservoirSampler<double>> group_samples;
+  };
+
+  static SpearMode DeriveMode(const SpearOperatorConfig& config,
+                              bool is_grouped);
+
+  WindowState& StateFor(std::int64_t window_start);
+  void UpdateWindowState(WindowState* state, const Tuple& tuple);
+
+  /// Decides + produces the result for one complete window. Sets
+  /// `needs_tuples` when the exact fallback (or the grouped stratified
+  /// scan) requires the raw window.
+  Result<WindowResult> DecideWindow(const WindowBounds& bounds,
+                                    WindowState* state, bool* needs_scan,
+                                    bool* needs_exact);
+
+  /// Scalar estimation dispatch (built-in or custom estimator).
+  Result<ScalarEstimate> EstimateScalarForState(const WindowState& state);
+
+  /// Builds the stratified sample for an accepted grouped-unknown window
+  /// by scanning the buffer once, then evaluates every group.
+  Status PopulateGroupedResultFromScan(
+      const WindowBounds& bounds, const std::vector<GroupAllocation>& allocs,
+      WindowResult* result);
+
+  /// Evaluates groups from per-group reservoirs (kGroupedKnown accept).
+  Status PopulateGroupedResultFromReservoirs(const WindowState& state,
+                                             WindowResult* result);
+
+  /// Materializes a window's tuples for exact processing.
+  Result<CompleteWindow> MaterializeWindow(const WindowBounds& bounds);
+
+  Status UnspillAll();
+  void EvictExpired();
+
+  const SpearOperatorConfig config_;
+  const SpearMode mode_;
+  const ValueExtractor value_extractor_;
+  const KeyExtractor key_extractor_;
+  SecondaryStorage* storage_;
+  const std::string spill_key_;
+
+  const std::size_t budget_elements_;
+  const std::size_t max_groups_;
+  const ExactWindowOperator exact_operator_;
+  std::optional<BudgetController> budget_controller_;
+
+  std::deque<Entry> buffer_;
+  std::vector<std::int64_t> spilled_coords_;
+  std::uint64_t spill_seq_ = 0;
+
+  std::map<std::int64_t, WindowState> window_states_;
+  std::int64_t next_window_start_ = 0;
+  bool saw_any_tuple_ = false;
+  std::int64_t last_watermark_;
+  std::uint64_t sampler_seq_ = 0;
+
+  DecisionStats decision_stats_;
+};
+
+}  // namespace spear

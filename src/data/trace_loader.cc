@@ -1,0 +1,127 @@
+#include "data/trace_loader.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace spear {
+
+Status TraceSpec::Validate() const {
+  if (columns.empty()) return Status::Invalid("trace spec has no columns");
+  if (time_column >= columns.size()) {
+    return Status::Invalid("time column out of range");
+  }
+  if (columns[time_column].second != TraceColumnType::kInt64) {
+    return Status::Invalid("time column must be int64 (epoch millis)");
+  }
+  return Status::OK();
+}
+
+Schema TraceSpec::ToSchema() const {
+  std::vector<std::string> names;
+  names.reserve(columns.size());
+  for (const auto& [name, type] : columns) names.push_back(name);
+  return Schema(std::move(names));
+}
+
+namespace {
+
+Result<Value> ParseCell(const std::string& cell, TraceColumnType type) {
+  switch (type) {
+    case TraceColumnType::kInt64: {
+      std::int64_t v = 0;
+      const auto [ptr, ec] =
+          std::from_chars(cell.data(), cell.data() + cell.size(), v);
+      if (ec != std::errc() || ptr != cell.data() + cell.size()) {
+        return Status::Invalid("bad int64 cell '" + cell + "'");
+      }
+      return Value(v);
+    }
+    case TraceColumnType::kDouble: {
+      // std::from_chars<double> is missing on some libstdc++ configs;
+      // strtod via stringstream keeps it portable.
+      try {
+        std::size_t pos = 0;
+        const double v = std::stod(cell, &pos);
+        if (pos != cell.size()) {
+          return Status::Invalid("bad double cell '" + cell + "'");
+        }
+        return Value(v);
+      } catch (const std::exception&) {
+        return Status::Invalid("bad double cell '" + cell + "'");
+      }
+    }
+    case TraceColumnType::kString:
+      return Value(cell);
+  }
+  return Status::Internal("unknown column type");
+}
+
+}  // namespace
+
+Result<Tuple> ParseTraceLine(const std::string& line, const TraceSpec& spec) {
+  std::vector<Value> fields;
+  fields.reserve(spec.columns.size());
+
+  std::size_t start = 0;
+  std::size_t column = 0;
+  Timestamp event_time = 0;
+  while (column < spec.columns.size()) {
+    const std::size_t end = line.find(spec.delimiter, start);
+    const std::string cell =
+        end == std::string::npos ? line.substr(start)
+                                 : line.substr(start, end - start);
+    SPEAR_ASSIGN_OR_RETURN(Value v,
+                           ParseCell(cell, spec.columns[column].second));
+    if (column == spec.time_column) event_time = v.AsInt64();
+    fields.push_back(std::move(v));
+    ++column;
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  if (column != spec.columns.size()) {
+    return Status::Invalid("row has " + std::to_string(column) +
+                           " cells, expected " +
+                           std::to_string(spec.columns.size()));
+  }
+  return Tuple(event_time, std::move(fields));
+}
+
+Result<std::vector<Tuple>> ParseTrace(const std::string& content,
+                                      const TraceSpec& spec) {
+  SPEAR_RETURN_NOT_OK(spec.Validate());
+  std::vector<Tuple> out;
+  std::istringstream in(content);
+  std::string line;
+  bool first = true;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (first && spec.has_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+    Result<Tuple> tuple = ParseTraceLine(line, spec);
+    if (!tuple.ok()) {
+      if (spec.skip_bad_rows) continue;
+      return Status::Invalid("line " + std::to_string(line_no) + ": " +
+                             tuple.status().message());
+    }
+    out.push_back(std::move(*tuple));
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> LoadTrace(const std::string& path,
+                                     const TraceSpec& spec) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open trace '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseTrace(buffer.str(), spec);
+}
+
+}  // namespace spear

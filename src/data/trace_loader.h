@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "tuple/schema.h"
+#include "tuple/tuple.h"
+
+/// \file trace_loader.h
+/// CSV trace ingestion, so the synthetic generators can be swapped for the
+/// paper's real traces (DEBS'15 taxi, Google cluster-monitoring, DEC) when
+/// a user has them. Column types are declared up front; the event time is
+/// taken from a designated int64 column (epoch milliseconds).
+
+namespace spear {
+
+/// Column type of a CSV trace.
+enum class TraceColumnType { kInt64, kDouble, kString };
+
+/// \brief Declarative description of a CSV trace file.
+struct TraceSpec {
+  /// One entry per CSV column, in order.
+  std::vector<std::pair<std::string, TraceColumnType>> columns;
+  /// Index of the column providing the event time (must be kInt64).
+  std::size_t time_column = 0;
+  /// Field delimiter.
+  char delimiter = ',';
+  /// Skip the first line (header).
+  bool has_header = true;
+  /// Silently drop rows that fail to parse instead of failing the load.
+  bool skip_bad_rows = false;
+
+  Status Validate() const;
+
+  /// Schema of the produced tuples (column names, in order).
+  Schema ToSchema() const;
+};
+
+/// \brief Parses one CSV line into a tuple. Exposed for tests and for
+/// streaming loaders.
+Result<Tuple> ParseTraceLine(const std::string& line, const TraceSpec& spec);
+
+/// \brief Loads a whole CSV file. Rows keep file order; event times come
+/// from the designated column.
+Result<std::vector<Tuple>> LoadTrace(const std::string& path,
+                                     const TraceSpec& spec);
+
+/// \brief Parses CSV content from a string (same semantics as LoadTrace).
+Result<std::vector<Tuple>> ParseTrace(const std::string& content,
+                                      const TraceSpec& spec);
+
+}  // namespace spear

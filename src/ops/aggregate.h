@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "stats/running_stats.h"
+
+/// \file aggregate.h
+/// The mean-like stateful operations SPEAr supports out of the box
+/// (Sec. 4: count, sum, average, quantile, variance, stddev), plus
+/// min/max. Operations split into:
+///  * algebraic/distributive ("non-holistic"): computable from constant
+///    per-window state (RunningStats) — eligible for incremental execution;
+///  * holistic (percentile/median): need the full multiset — the case
+///    SPEAr's sampling path targets.
+
+namespace spear {
+
+enum class AggregateKind : std::uint8_t {
+  kCount,
+  kSum,
+  kMean,
+  kVariance,
+  kStdDev,
+  kMin,
+  kMax,
+  kPercentile,
+};
+
+/// \brief Which aggregate to run, plus its parameter (phi for percentile).
+struct AggregateSpec {
+  AggregateKind kind = AggregateKind::kMean;
+  /// Quantile in [0, 1]; used only by kPercentile.
+  double phi = 0.5;
+
+  static AggregateSpec Count() { return {AggregateKind::kCount, 0.0}; }
+  static AggregateSpec Sum() { return {AggregateKind::kSum, 0.0}; }
+  static AggregateSpec Mean() { return {AggregateKind::kMean, 0.0}; }
+  static AggregateSpec Variance() { return {AggregateKind::kVariance, 0.0}; }
+  static AggregateSpec StdDev() { return {AggregateKind::kStdDev, 0.0}; }
+  static AggregateSpec Min() { return {AggregateKind::kMin, 0.0}; }
+  static AggregateSpec Max() { return {AggregateKind::kMax, 0.0}; }
+  static AggregateSpec Percentile(double phi) {
+    return {AggregateKind::kPercentile, phi};
+  }
+  static AggregateSpec Median() { return Percentile(0.5); }
+
+  /// Holistic operations need the whole window multiset.
+  bool IsHolistic() const { return kind == AggregateKind::kPercentile; }
+
+  /// Non-holistic operations evaluate from RunningStats in O(1).
+  bool IsIncremental() const { return !IsHolistic(); }
+
+  std::string ToString() const;
+};
+
+/// \brief Exact value of the aggregate over `values`. O(n) (holistic uses
+/// nth_element). Invalid on empty input.
+Result<double> EvaluateExact(const AggregateSpec& spec,
+                             std::vector<double> values);
+
+/// \brief Value of a non-holistic aggregate from its running state.
+/// FailedPrecondition for holistic specs; Invalid for an empty state.
+Result<double> EvaluateFromStats(const AggregateSpec& spec,
+                                 const RunningStats& stats);
+
+const char* AggregateKindName(AggregateKind kind);
+
+}  // namespace spear

@@ -1,0 +1,44 @@
+#include "ops/exact_operator.h"
+
+#include <algorithm>
+#include <map>
+
+namespace spear {
+
+Result<WindowResult> ExactWindowOperator::Process(
+    const CompleteWindow& window) const {
+  if (window.tuples.empty()) {
+    return Status::Invalid("exact operator on empty window " +
+                           window.bounds.ToString());
+  }
+  WindowResult result;
+  result.bounds = window.bounds;
+  result.window_size = window.tuples.size();
+  result.tuples_processed = window.tuples.size();
+  result.approximate = false;
+
+  if (!is_grouped()) {
+    std::vector<double> values;
+    values.reserve(window.tuples.size());
+    for (const Tuple& t : window.tuples) values.push_back(value_extractor_(t));
+    SPEAR_ASSIGN_OR_RETURN(result.scalar,
+                           EvaluateExact(spec_, std::move(values)));
+    return result;
+  }
+
+  // Grouped: partition the window by key, evaluate each group.
+  std::map<std::string, std::vector<double>> partitions;
+  for (const Tuple& t : window.tuples) {
+    partitions[key_extractor_(t)].push_back(value_extractor_(t));
+  }
+  result.is_grouped = true;
+  result.groups.reserve(partitions.size());
+  for (auto& [key, values] : partitions) {
+    SPEAR_ASSIGN_OR_RETURN(const double v,
+                           EvaluateExact(spec_, std::move(values)));
+    result.groups.emplace_back(key, v);
+  }
+  return result;
+}
+
+}  // namespace spear

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <optional>
+
+#include "common/result.h"
+#include "ops/aggregate.h"
+#include "ops/window_result.h"
+#include "tuple/field_extractor.h"
+#include "window/window_manager.h"
+
+/// \file exact_operator.h
+/// The exact ("Storm") execution of a stateful operation: at watermark
+/// arrival, process every tuple of the staged window. This is the baseline
+/// all SPEAr comparisons run against, and also SPEAr's own fallback path.
+
+namespace spear {
+
+/// \brief Evaluates an aggregate exactly over a complete window.
+///
+/// Scalar when `key_extractor` is empty; grouped otherwise (one result per
+/// distinct group, all groups included, keys sorted).
+class ExactWindowOperator {
+ public:
+  ExactWindowOperator(AggregateSpec spec, ValueExtractor value_extractor,
+                      KeyExtractor key_extractor = nullptr)
+      : spec_(spec),
+        value_extractor_(std::move(value_extractor)),
+        key_extractor_(std::move(key_extractor)) {}
+
+  /// Processes all of S_w. O(|S_w|) (holistic: O(|S_w|) average via
+  /// partial sort, per group).
+  Result<WindowResult> Process(const CompleteWindow& window) const;
+
+  bool is_grouped() const { return static_cast<bool>(key_extractor_); }
+  const AggregateSpec& spec() const { return spec_; }
+
+ private:
+  const AggregateSpec spec_;
+  const ValueExtractor value_extractor_;
+  const KeyExtractor key_extractor_;
+};
+
+}  // namespace spear

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "ops/aggregate.h"
+#include "ops/window_result.h"
+#include "stats/running_stats.h"
+#include "tuple/field_extractor.h"
+#include "window/window_assigner.h"
+
+/// \file incremental_operator.h
+/// Incremental ("Inc-Storm") execution for non-holistic aggregates: a
+/// constant-size accumulator per active window is updated at tuple arrival,
+/// and watermark arrival just finalizes it — no buffer, no scan. This is
+/// the optimal method for e.g. the scalar mean (Fig. 8a), and the
+/// technique SPEAr itself adopts for non-holistic scalar operations.
+
+namespace spear {
+
+/// \brief Per-window incremental accumulation of a non-holistic aggregate.
+///
+/// Scalar when constructed without a key extractor, grouped otherwise.
+class IncrementalOperator {
+ public:
+  /// \pre spec.IsIncremental()
+  IncrementalOperator(AggregateSpec spec, WindowSpec window_spec,
+                      ValueExtractor value_extractor,
+                      KeyExtractor key_extractor = nullptr);
+
+  /// Updates the accumulator of every window containing `coord`. O(1) per
+  /// participating window.
+  void OnTuple(std::int64_t coord, const Tuple& tuple);
+
+  /// Finalizes and discards every window ending on or before `watermark`.
+  Result<std::vector<WindowResult>> OnWatermark(std::int64_t watermark);
+
+  /// Active (incomplete) windows currently tracked.
+  std::size_t active_windows() const { return scalar_state_.size() + grouped_state_.size(); }
+
+  bool is_grouped() const { return static_cast<bool>(key_extractor_); }
+
+ private:
+  const AggregateSpec spec_;
+  const WindowSpec window_spec_;
+  const ValueExtractor value_extractor_;
+  const KeyExtractor key_extractor_;
+
+  /// window start -> accumulator (scalar CQs).
+  std::map<std::int64_t, RunningStats> scalar_state_;
+  /// window start -> group key -> accumulator (grouped CQs).
+  std::map<std::int64_t, std::map<std::string, RunningStats>> grouped_state_;
+  std::int64_t last_watermark_;
+  std::uint64_t late_tuples_ = 0;
+
+ public:
+  std::uint64_t late_tuples() const { return late_tuples_; }
+};
+
+}  // namespace spear

@@ -1,0 +1,146 @@
+#include "ops/paned_incremental.h"
+
+#include <algorithm>
+
+#include "common/time.h"
+#include "window/window_assigner.h"
+
+namespace spear {
+
+PanedIncrementalOperator::PanedIncrementalOperator(
+    AggregateSpec spec, WindowSpec window_spec,
+    ValueExtractor value_extractor, KeyExtractor key_extractor)
+    : spec_(spec),
+      window_spec_(window_spec),
+      value_extractor_(std::move(value_extractor)),
+      key_extractor_(std::move(key_extractor)),
+      panes_per_window_(window_spec.range / window_spec.slide),
+      last_watermark_(kMinTimestamp) {
+  SPEAR_CHECK(spec_.IsIncremental());
+  SPEAR_CHECK(window_spec_.IsValid());
+  SPEAR_CHECK(window_spec_.range % window_spec_.slide == 0);
+}
+
+std::int64_t PanedIncrementalOperator::PaneStart(std::int64_t coord) const {
+  return LastWindowStartFor(window_spec_, coord);  // slide-aligned floor
+}
+
+void PanedIncrementalOperator::OnTuple(std::int64_t coord,
+                                       const Tuple& tuple) {
+  if (coord < last_watermark_) {
+    ++late_tuples_;
+    return;
+  }
+  if (!saw_any_tuple_) {
+    next_window_start_ = FirstWindowStartFor(window_spec_, coord);
+    saw_any_tuple_ = true;
+  } else {
+    next_window_start_ = std::min(
+        next_window_start_, FirstWindowStartFor(window_spec_, coord));
+  }
+  const std::int64_t pane = PaneStart(coord);
+  const double value = value_extractor_(tuple);
+  if (is_grouped()) {
+    grouped_panes_[pane][key_extractor_(tuple)].Update(value);
+  } else {
+    scalar_panes_[pane].Update(value);
+  }
+}
+
+Result<std::vector<WindowResult>> PanedIncrementalOperator::OnWatermark(
+    std::int64_t watermark) {
+  std::vector<WindowResult> out;
+  watermark = ClampWatermark(window_spec_, watermark);
+  if (watermark <= last_watermark_) return out;
+  last_watermark_ = watermark;
+  if (!saw_any_tuple_) return out;
+
+  // First pane a window starting at or after next_window_start_ could
+  // use (window [s, s+range) covers panes s .. s+range-slide, all >= s).
+  auto next_relevant_pane = [&]() -> std::int64_t {
+    if (is_grouped()) {
+      const auto it = grouped_panes_.lower_bound(next_window_start_);
+      return it == grouped_panes_.end() ? kMaxTimestamp : it->first;
+    }
+    const auto it = scalar_panes_.lower_bound(next_window_start_);
+    return it == scalar_panes_.end() ? kMaxTimestamp : it->first;
+  };
+
+  // Skip empty stretches wholesale: jump to the earliest window that can
+  // still cover a live pane (a window with no panes emits nothing, and —
+  // future tuples being >= the watermark — never will).
+  const std::int64_t first_incomplete =
+      FirstIncompleteWindowStart(window_spec_, watermark);
+  auto advance_past_gap = [&]() -> bool {  // false: no window left to emit
+    const std::int64_t pane = next_relevant_pane();
+    if (pane == kMaxTimestamp) {
+      next_window_start_ = std::max(next_window_start_, first_incomplete);
+      return false;
+    }
+    const std::int64_t earliest_covering =
+        pane - window_spec_.range + window_spec_.slide;
+    next_window_start_ = std::max(
+        next_window_start_, std::min(earliest_covering, first_incomplete));
+    return true;
+  };
+
+  if (!advance_past_gap()) return out;
+  while (next_window_start_ + window_spec_.range <= watermark) {
+    const WindowBounds bounds{next_window_start_,
+                              next_window_start_ + window_spec_.range};
+    WindowResult result;
+    result.bounds = bounds;
+    result.tuples_processed = 0;
+
+    if (is_grouped()) {
+      std::map<std::string, RunningStats> merged;
+      for (std::int64_t pane = bounds.start; pane < bounds.end;
+           pane += window_spec_.slide) {
+        const auto it = grouped_panes_.find(pane);
+        if (it == grouped_panes_.end()) continue;
+        for (const auto& [key, stats] : it->second) {
+          merged[key].Merge(stats);
+        }
+      }
+      if (!merged.empty()) {
+        result.is_grouped = true;
+        for (const auto& [key, stats] : merged) {
+          result.window_size += stats.count();
+          SPEAR_ASSIGN_OR_RETURN(const double v,
+                                 EvaluateFromStats(spec_, stats));
+          result.groups.emplace_back(key, v);
+        }
+        out.push_back(std::move(result));
+      }
+    } else {
+      RunningStats merged;
+      for (std::int64_t pane = bounds.start; pane < bounds.end;
+           pane += window_spec_.slide) {
+        const auto it = scalar_panes_.find(pane);
+        if (it != scalar_panes_.end()) merged.Merge(it->second);
+      }
+      if (merged.count() > 0) {
+        result.window_size = merged.count();
+        SPEAR_ASSIGN_OR_RETURN(result.scalar,
+                               EvaluateFromStats(spec_, merged));
+        out.push_back(std::move(result));
+      }
+    }
+    next_window_start_ += window_spec_.slide;
+    if (!advance_past_gap()) break;
+  }
+
+  // Evict panes below the next window's start: no future window covers
+  // them.
+  while (!scalar_panes_.empty() &&
+         scalar_panes_.begin()->first < next_window_start_) {
+    scalar_panes_.erase(scalar_panes_.begin());
+  }
+  while (!grouped_panes_.empty() &&
+         grouped_panes_.begin()->first < next_window_start_) {
+    grouped_panes_.erase(grouped_panes_.begin());
+  }
+  return out;
+}
+
+}  // namespace spear

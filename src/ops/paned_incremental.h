@@ -1,0 +1,70 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "ops/aggregate.h"
+#include "ops/window_result.h"
+#include "tuple/field_extractor.h"
+#include "window/window_spec.h"
+
+/// \file paned_incremental.h
+/// Pane-based (sliced) incremental aggregation — the aggregate-sharing
+/// family of the paper's related work (Arasu & Widom [37], Cutty [38],
+/// panes): a sliding window whose slide divides its range is the union of
+/// range/slide *panes* (tumbling slices of length slide). Each tuple
+/// updates exactly ONE pane accumulator instead of one accumulator per
+/// overlapping window, and watermark arrival merges range/slide pane
+/// accumulators per emitted window. For mergeable (algebraic) aggregates
+/// this cuts tuple-arrival work by the overlap factor at a small
+/// watermark-time merge cost.
+
+namespace spear {
+
+/// \brief Pane-sharing variant of IncrementalOperator (non-holistic
+/// aggregates, slide must divide range).
+class PanedIncrementalOperator {
+ public:
+  /// \pre spec.IsIncremental() and window.range % window.slide == 0
+  PanedIncrementalOperator(AggregateSpec spec, WindowSpec window_spec,
+                           ValueExtractor value_extractor,
+                           KeyExtractor key_extractor = nullptr);
+
+  /// Updates exactly one pane. O(1) per tuple, independent of overlap.
+  void OnTuple(std::int64_t coord, const Tuple& tuple);
+
+  /// Merges panes into every complete window's result, then evicts panes
+  /// no future window needs.
+  Result<std::vector<WindowResult>> OnWatermark(std::int64_t watermark);
+
+  std::size_t active_panes() const {
+    return scalar_panes_.size() + grouped_panes_.size();
+  }
+
+  /// Accumulators merged per emitted window (= range / slide).
+  std::int64_t panes_per_window() const { return panes_per_window_; }
+
+  bool is_grouped() const { return static_cast<bool>(key_extractor_); }
+  std::uint64_t late_tuples() const { return late_tuples_; }
+
+ private:
+  std::int64_t PaneStart(std::int64_t coord) const;
+
+  const AggregateSpec spec_;
+  const WindowSpec window_spec_;
+  const ValueExtractor value_extractor_;
+  const KeyExtractor key_extractor_;
+  const std::int64_t panes_per_window_;
+
+  /// pane start -> accumulator (scalar CQs).
+  std::map<std::int64_t, RunningStats> scalar_panes_;
+  /// pane start -> group key -> accumulator (grouped CQs).
+  std::map<std::int64_t, std::map<std::string, RunningStats>> grouped_panes_;
+  std::int64_t last_watermark_;
+  std::int64_t next_window_start_ = 0;
+  bool saw_any_tuple_ = false;
+  std::uint64_t late_tuples_ = 0;
+};
+
+}  // namespace spear

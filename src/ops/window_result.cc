@@ -1,0 +1,37 @@
+#include "ops/window_result.h"
+
+#include <cstdio>
+
+namespace spear {
+
+std::string WindowResult::ToString() const {
+  std::string out = bounds.ToString();
+  out += approximate ? " ~ " : " = ";
+  if (is_grouped) {
+    out += "{";
+    bool first = true;
+    for (const auto& [key, value] : groups) {
+      if (!first) out += ", ";
+      first = false;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s: %g", key.c_str(), value);
+      out += buf;
+    }
+    out += "}";
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", scalar);
+    out += buf;
+  }
+  if (approximate) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " (est. err %.3f, n=%llu/%llu)",
+                  estimated_error,
+                  static_cast<unsigned long long>(tuples_processed),
+                  static_cast<unsigned long long>(window_size));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace spear

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "window/window_spec.h"
+
+/// \file window_result.h
+/// The R_w produced for each complete window: either a scalar value or one
+/// value per distinct group. SPEAr marks expedited results as approximate
+/// and attaches the estimated error, so downstream consumers (and our
+/// benches) can audit the accuracy guarantee.
+
+namespace spear {
+
+/// \brief Result of one stateful operation over one window.
+struct WindowResult {
+  WindowBounds bounds;
+  /// Number of tuples in S_w (the full window, not the sample).
+  std::uint64_t window_size = 0;
+
+  bool is_grouped = false;
+  double scalar = 0.0;
+  /// Grouped results, sorted by key (deterministic output).
+  std::vector<std::pair<std::string, double>> groups;
+
+  /// True when produced from a sample (SPEAr's expedited path).
+  bool approximate = false;
+  /// The estimator's error bound for this window (only meaningful when
+  /// `approximate` is true).
+  double estimated_error = 0.0;
+  /// Tuples actually processed to produce this result (= sample size on
+  /// the expedited path, = window_size on the exact path).
+  std::uint64_t tuples_processed = 0;
+
+  /// Wall-clock nanoseconds spent producing this window's result at
+  /// watermark arrival (staging + decision + computation). The per-window
+  /// "window processing time" metric of the paper's evaluation.
+  std::int64_t processing_ns = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace spear

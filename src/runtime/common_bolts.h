@@ -1,0 +1,66 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "runtime/operator.h"
+
+/// \file common_bolts.h
+/// Stateless building blocks: map, filter, and a catch-all lambda bolt —
+/// the `time(x -> x.time)`-style stages of the paper's example CQs.
+
+namespace spear {
+
+/// \brief Applies a transformation to every tuple (1 -> 1).
+class MapBolt : public Bolt {
+ public:
+  using MapFn = std::function<Tuple(const Tuple&)>;
+
+  explicit MapBolt(MapFn fn) : fn_(std::move(fn)) {}
+
+  Status Execute(const Tuple& tuple, Emitter* out) override {
+    out->Emit(fn_(tuple));
+    return Status::OK();
+  }
+
+ private:
+  MapFn fn_;
+};
+
+/// \brief Drops tuples failing a predicate (1 -> 0/1).
+class FilterBolt : public Bolt {
+ public:
+  using Predicate = std::function<bool(const Tuple&)>;
+
+  explicit FilterBolt(Predicate predicate)
+      : predicate_(std::move(predicate)) {}
+
+  Status Execute(const Tuple& tuple, Emitter* out) override {
+    if (predicate_(tuple)) out->Emit(tuple);
+    return Status::OK();
+  }
+
+ private:
+  Predicate predicate_;
+};
+
+/// \brief Annotates each tuple's event time from one of its fields — the
+/// `time(x -> x.time)` operation of Fig. 1.
+class TimeAssignBolt : public Bolt {
+ public:
+  /// \param time_field index of the int64 field holding the timestamp.
+  explicit TimeAssignBolt(std::size_t time_field) : time_field_(time_field) {}
+
+  Status Execute(const Tuple& tuple, Emitter* out) override {
+    Tuple annotated = tuple;
+    annotated.set_event_time(annotated.field(time_field_).AsInt64());
+    out->Emit(std::move(annotated));
+    return Status::OK();
+  }
+
+ private:
+  const std::size_t time_field_;
+};
+
+}  // namespace spear

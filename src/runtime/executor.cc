@@ -1,0 +1,287 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/time.h"
+#include "window/watermark.h"
+
+namespace spear {
+
+/// One item on an inter-stage channel.
+struct Executor::Element {
+  enum class Kind : std::uint8_t { kTuple, kWatermark, kFlush };
+
+  Kind kind = Kind::kTuple;
+  int from_channel = 0;
+  Timestamp watermark = kMinTimestamp;
+  Tuple tuple;
+
+  static Element MakeTuple(Tuple t, int from) {
+    Element e;
+    e.kind = Kind::kTuple;
+    e.from_channel = from;
+    e.tuple = std::move(t);
+    return e;
+  }
+  static Element MakeWatermark(Timestamp wm, int from) {
+    Element e;
+    e.kind = Kind::kWatermark;
+    e.from_channel = from;
+    e.watermark = wm;
+    return e;
+  }
+  static Element MakeFlush(int from) {
+    Element e;
+    e.kind = Kind::kFlush;
+    e.from_channel = from;
+    return e;
+  }
+};
+
+namespace {
+
+using ElementQueue = BlockingQueue<Executor::Element>;
+
+}  // namespace
+
+/// Routes a worker's emissions to the next stage (or the output sink).
+class Executor::StageEmitter : public Emitter {
+ public:
+  StageEmitter(int my_task, const Partitioner* next_partitioner,
+               std::vector<ElementQueue*> next_queues,
+               WorkerMetrics* metrics, std::vector<Tuple>* output,
+               std::mutex* output_mutex)
+      : my_task_(my_task),
+        next_partitioner_(next_partitioner),
+        next_queues_(std::move(next_queues)),
+        metrics_(metrics),
+        output_(output),
+        output_mutex_(output_mutex) {}
+
+  void Emit(Tuple tuple) override {
+    if (metrics_ != nullptr) metrics_->AddTuplesOut(1);
+    if (next_queues_.empty()) {
+      std::lock_guard<std::mutex> lock(*output_mutex_);
+      output_->push_back(std::move(tuple));
+      return;
+    }
+    const int target = next_partitioner_->TargetTask(
+        tuple, static_cast<int>(next_queues_.size()), &rr_state_);
+    next_queues_[static_cast<std::size_t>(target)]->Push(
+        Element::MakeTuple(std::move(tuple), my_task_));
+  }
+
+  void Broadcast(Element element) {
+    for (ElementQueue* q : next_queues_) {
+      Element copy = element;
+      q->Push(std::move(copy));
+    }
+  }
+
+  bool HasDownstream() const { return !next_queues_.empty(); }
+
+ private:
+  const int my_task_;
+  const Partitioner* next_partitioner_;
+  std::vector<ElementQueue*> next_queues_;
+  WorkerMetrics* metrics_;
+  std::vector<Tuple>* output_;
+  std::mutex* output_mutex_;
+  std::uint64_t rr_state_ = 0;
+};
+
+Result<RunReport> Executor::Run() {
+  const std::size_t num_stages = topology_.stages.size();
+
+  RunReport report;
+
+  // --- Wiring (single-threaded setup) ------------------------------------
+  // queues[i][t]: input queue of stage i, task t.
+  std::vector<std::vector<std::unique_ptr<ElementQueue>>> queues(num_stages);
+  for (std::size_t i = 0; i < num_stages; ++i) {
+    const int p = topology_.stages[i].parallelism;
+    for (int t = 0; t < p; ++t) {
+      queues[i].push_back(
+          std::make_unique<ElementQueue>(topology_.queue_capacity));
+    }
+  }
+
+  std::mutex output_mutex;
+  std::mutex error_mutex;
+  Status first_error = Status::OK();
+  std::atomic<bool> failed{false};
+
+  auto record_error = [&](const Status& status) {
+    bool expected = false;
+    if (failed.compare_exchange_strong(expected, true)) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      first_error = status;
+    }
+    // Unblock everyone: closing the queues makes pending Push/Pop return.
+    for (auto& stage_queues : queues) {
+      for (auto& q : stage_queues) q->Close();
+    }
+  };
+
+  auto queues_of_stage = [&](std::size_t i) {
+    std::vector<ElementQueue*> out;
+    for (auto& q : queues[i]) out.push_back(q.get());
+    return out;
+  };
+
+  // --- Worker threads -----------------------------------------------------
+  std::vector<std::thread> threads;
+  threads.reserve(1 + num_stages * 8);
+
+  for (std::size_t i = 0; i < num_stages; ++i) {
+    const StageSpec& stage = topology_.stages[i];
+    const Partitioner* next_partitioner =
+        i + 1 < num_stages ? &topology_.stages[i + 1].input_partitioner
+                           : nullptr;
+
+    for (int task = 0; task < stage.parallelism; ++task) {
+      WorkerMetrics* metrics = report.metrics.Register(stage.name, task);
+      ElementQueue* in_queue = queues[i][static_cast<std::size_t>(task)].get();
+      std::vector<ElementQueue*> next_queues =
+          i + 1 < num_stages ? queues_of_stage(i + 1)
+                             : std::vector<ElementQueue*>{};
+
+      threads.emplace_back([&, i, task, metrics, in_queue,
+                            next_partitioner,
+                            next_queues = std::move(next_queues)]() mutable {
+        const StageSpec& my_stage = topology_.stages[i];
+        StageEmitter emitter(task, next_partitioner, std::move(next_queues),
+                             metrics, &report.output, &output_mutex);
+
+        std::unique_ptr<Bolt> bolt = my_stage.bolt_factory(task);
+        if (bolt == nullptr) {
+          record_error(Status::Internal("stage '" + my_stage.name +
+                                        "' factory returned null bolt"));
+          return;
+        }
+        BoltContext ctx;
+        ctx.task_id = task;
+        ctx.parallelism = my_stage.parallelism;
+        ctx.metrics = metrics;
+        if (Status s = bolt->Prepare(ctx); !s.ok()) {
+          record_error(s);
+          return;
+        }
+
+        const int channels = i == 0 ? 1 : topology_.stages[i - 1].parallelism;
+        std::vector<Timestamp> channel_wm(
+            static_cast<std::size_t>(channels), kMinTimestamp);
+        std::vector<bool> channel_flushed(
+            static_cast<std::size_t>(channels), false);
+        int flushed_count = 0;
+        Timestamp local_wm = kMinTimestamp;
+
+        while (!failed.load(std::memory_order_relaxed)) {
+          std::optional<Element> element = in_queue->Pop();
+          if (!element.has_value()) break;  // closed (cancelled run)
+
+          switch (element->kind) {
+            case Element::Kind::kTuple: {
+              metrics->AddTuplesIn(1);
+              std::int64_t busy = 0;
+              Status s;
+              {
+                ScopedTimerNs timer(&busy);
+                s = bolt->Execute(element->tuple, &emitter);
+              }
+              metrics->AddBusyNs(busy);
+              if (!s.ok()) {
+                record_error(s);
+                return;
+              }
+              break;
+            }
+            case Element::Kind::kWatermark: {
+              auto& ch = channel_wm[static_cast<std::size_t>(
+                  element->from_channel)];
+              ch = std::max(ch, element->watermark);
+              const Timestamp aligned =
+                  *std::min_element(channel_wm.begin(), channel_wm.end());
+              if (aligned > local_wm) {
+                local_wm = aligned;
+                std::int64_t busy = 0;
+                Status s;
+                {
+                  ScopedTimerNs timer(&busy);
+                  s = bolt->OnWatermark(local_wm, &emitter);
+                }
+                metrics->AddBusyNs(busy);
+                if (!s.ok()) {
+                  record_error(s);
+                  return;
+                }
+                if (emitter.HasDownstream()) {
+                  emitter.Broadcast(Element::MakeWatermark(local_wm, task));
+                }
+              }
+              break;
+            }
+            case Element::Kind::kFlush: {
+              auto flushed_flag = channel_flushed.begin() +
+                                  element->from_channel;
+              if (!*flushed_flag) {
+                *flushed_flag = true;
+                ++flushed_count;
+              }
+              if (flushed_count == channels) {
+                if (Status s = bolt->Finish(&emitter); !s.ok()) {
+                  record_error(s);
+                  return;
+                }
+                if (emitter.HasDownstream()) {
+                  emitter.Broadcast(Element::MakeFlush(task));
+                }
+                return;  // worker done
+              }
+              break;
+            }
+          }
+        }
+      });
+    }
+  }
+
+  // --- Source thread ------------------------------------------------------
+  threads.emplace_back([&]() {
+    StageEmitter emitter(0, &topology_.stages[0].input_partitioner,
+                         queues_of_stage(0), nullptr, &report.output,
+                         &output_mutex);
+    // With interval <= 0 the generator is never consulted: only the final
+    // end-of-stream watermark fires.
+    WatermarkGenerator generator(
+        std::max<DurationMs>(topology_.source.watermark_interval, 1),
+        topology_.source.max_lateness);
+
+    Tuple tuple;
+    while (!failed.load(std::memory_order_relaxed) &&
+           topology_.source.spout->Next(&tuple)) {
+      const Timestamp t = tuple.event_time();
+      emitter.Emit(std::move(tuple));
+      if (topology_.source.watermark_interval > 0 && generator.Observe(t)) {
+        emitter.Broadcast(Element::MakeWatermark(generator.current(), 0));
+      }
+      tuple = Tuple();
+    }
+    // Final watermark releases every buffered window, then flush.
+    emitter.Broadcast(
+        Element::MakeWatermark(WatermarkGenerator::FinalWatermark(), 0));
+    emitter.Broadcast(Element::MakeFlush(0));
+  });
+
+  for (std::thread& t : threads) t.join();
+
+  if (failed.load()) {
+    std::lock_guard<std::mutex> lock(error_mutex);
+    return first_error;
+  }
+  return report;
+}
+
+}  // namespace spear

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/result.h"
+#include "runtime/metrics.h"
+#include "runtime/topology.h"
+
+/// \file executor.h
+/// Multi-threaded topology execution: one source thread drains the spout,
+/// one worker thread per (stage, task) runs a bolt instance. Inter-stage
+/// channels are bounded blocking queues (back-pressure), watermarks are
+/// broadcast and aligned per worker as the minimum across input channels,
+/// and end-of-stream is a flush marker that propagates once every input
+/// channel has flushed. Tuples on one channel stay in order (the paper's
+/// experiments enable Storm's in-order delivery).
+
+namespace spear {
+
+/// \brief Everything a finished run reports back.
+struct RunReport {
+  /// Tuples emitted by the final stage, in collection order.
+  std::vector<Tuple> output;
+  /// Per-worker telemetry.
+  MetricsRegistry metrics;
+};
+
+/// \brief Runs one topology to completion. Single-use.
+class Executor {
+ public:
+  explicit Executor(Topology topology) : topology_(std::move(topology)) {}
+
+  /// Blocking: returns after the stream is exhausted and every worker has
+  /// flushed, or after the first worker error (which cancels the run).
+  Result<RunReport> Run();
+
+  // Implementation details, public only for internal linkage reasons.
+  struct Element;
+  class StageEmitter;
+
+ private:
+  Topology topology_;
+};
+
+}  // namespace spear

@@ -1,0 +1,58 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+
+namespace spear {
+
+namespace {
+
+std::int64_t PercentileOfSorted(const std::vector<std::int64_t>& sorted,
+                                double p) {
+  if (sorted.empty()) return 0;
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  return sorted[static_cast<std::size_t>(pos + 0.5)];
+}
+
+}  // namespace
+
+MetricSummary MetricSummary::FromSamples(std::vector<std::int64_t> samples) {
+  MetricSummary out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.count = samples.size();
+  double sum = 0.0;
+  for (std::int64_t s : samples) sum += static_cast<double>(s);
+  out.mean = sum / static_cast<double>(samples.size());
+  out.min = samples.front();
+  out.max = samples.back();
+  out.p50 = PercentileOfSorted(samples, 0.50);
+  out.p95 = PercentileOfSorted(samples, 0.95);
+  out.p99 = PercentileOfSorted(samples, 0.99);
+  return out;
+}
+
+MetricSummary MetricsRegistry::StageWindowSummary(
+    const std::string& stage) const {
+  std::vector<std::int64_t> pooled;
+  for (const auto& w : workers_) {
+    if (w->stage() != stage) continue;
+    pooled.insert(pooled.end(), w->window_ns().begin(), w->window_ns().end());
+  }
+  return MetricSummary::FromSamples(std::move(pooled));
+}
+
+double MetricsRegistry::StageMeanMemoryPerWorker(
+    const std::string& stage) const {
+  double sum = 0.0;
+  int workers = 0;
+  for (const auto& w : workers_) {
+    if (w->stage() != stage) continue;
+    const MetricSummary s = w->MemorySummary();
+    if (s.count == 0) continue;
+    sum += s.mean;
+    ++workers;
+  }
+  return workers == 0 ? 0.0 : sum / workers;
+}
+
+}  // namespace spear

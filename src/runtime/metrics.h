@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file metrics.h
+/// Runtime telemetry, modeled on Storm's metrics API (which the paper uses
+/// to measure per-window processing time). Each worker thread owns a
+/// WorkerMetrics it writes without synchronization; the registry snapshots
+/// them after execution.
+
+namespace spear {
+
+/// \brief Percentile/mean summary of a sample of int64 measurements.
+struct MetricSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  std::int64_t min = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p95 = 0;
+  std::int64_t p99 = 0;
+  std::int64_t max = 0;
+
+  static MetricSummary FromSamples(std::vector<std::int64_t> samples);
+};
+
+/// \brief One worker thread's counters. Written by exactly one thread.
+class WorkerMetrics {
+ public:
+  WorkerMetrics(std::string stage, int task_id)
+      : stage_(std::move(stage)), task_id_(task_id) {}
+
+  void RecordWindowNs(std::int64_t ns) { window_ns_.push_back(ns); }
+  void RecordMemoryBytes(std::size_t bytes) {
+    memory_bytes_.push_back(static_cast<std::int64_t>(bytes));
+  }
+  void AddTuplesIn(std::uint64_t n) { tuples_in_ += n; }
+  void AddTuplesOut(std::uint64_t n) { tuples_out_ += n; }
+  void AddBusyNs(std::int64_t ns) { busy_ns_ += ns; }
+
+  const std::string& stage() const { return stage_; }
+  int task_id() const { return task_id_; }
+  std::uint64_t tuples_in() const { return tuples_in_; }
+  std::uint64_t tuples_out() const { return tuples_out_; }
+  std::int64_t busy_ns() const { return busy_ns_; }
+  const std::vector<std::int64_t>& window_ns() const { return window_ns_; }
+  const std::vector<std::int64_t>& memory_bytes() const {
+    return memory_bytes_;
+  }
+
+  MetricSummary WindowSummary() const {
+    return MetricSummary::FromSamples(window_ns_);
+  }
+  MetricSummary MemorySummary() const {
+    return MetricSummary::FromSamples(memory_bytes_);
+  }
+
+ private:
+  const std::string stage_;
+  const int task_id_;
+  std::uint64_t tuples_in_ = 0;
+  std::uint64_t tuples_out_ = 0;
+  std::int64_t busy_ns_ = 0;
+  std::vector<std::int64_t> window_ns_;
+  std::vector<std::int64_t> memory_bytes_;
+};
+
+/// \brief Owns every worker's metrics for one topology run.
+class MetricsRegistry {
+ public:
+  /// Creates (and owns) metrics for one worker. Called at wiring time,
+  /// before threads start — no synchronization needed afterwards.
+  WorkerMetrics* Register(const std::string& stage, int task_id) {
+    workers_.push_back(std::make_unique<WorkerMetrics>(stage, task_id));
+    return workers_.back().get();
+  }
+
+  /// All workers of a stage.
+  std::vector<const WorkerMetrics*> ForStage(const std::string& stage) const {
+    std::vector<const WorkerMetrics*> out;
+    for (const auto& w : workers_) {
+      if (w->stage() == stage) out.push_back(w.get());
+    }
+    return out;
+  }
+
+  /// Pooled per-window processing times across a stage's workers.
+  MetricSummary StageWindowSummary(const std::string& stage) const;
+
+  /// Mean of per-worker *average* memory samples across a stage — the
+  /// "mean memory usage per worker" of Fig. 7.
+  double StageMeanMemoryPerWorker(const std::string& stage) const;
+
+  const std::vector<std::unique_ptr<WorkerMetrics>>& workers() const {
+    return workers_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<WorkerMetrics>> workers_;
+};
+
+}  // namespace spear

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "runtime/metrics.h"
+#include "tuple/tuple.h"
+
+/// \file operator.h
+/// The operator interfaces of the runtime: Spout (source) and Bolt
+/// (processing stage), Storm's vocabulary. Bolts receive data tuples and
+/// watermarks; the executor handles channel-wise watermark alignment and
+/// end-of-stream flushes.
+
+namespace spear {
+
+/// \brief Downstream emission handle given to bolts.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(Tuple tuple) = 0;
+};
+
+/// \brief Per-worker runtime context handed to a bolt at preparation.
+struct BoltContext {
+  int task_id = 0;
+  int parallelism = 1;
+  WorkerMetrics* metrics = nullptr;
+};
+
+/// \brief A processing stage instance. One Bolt object per worker thread;
+/// all callbacks run on that worker's thread.
+class Bolt {
+ public:
+  virtual ~Bolt() = default;
+
+  /// Called once before any tuple, on the worker thread.
+  virtual Status Prepare(const BoltContext& ctx) {
+    (void)ctx;
+    return Status::OK();
+  }
+
+  /// Data tuple arrival.
+  virtual Status Execute(const Tuple& tuple, Emitter* out) = 0;
+
+  /// Watermark arrival (already aligned as the minimum across input
+  /// channels; exclusive semantics — see window/watermark.h). The executor
+  /// forwards the watermark downstream after this returns.
+  virtual Status OnWatermark(Timestamp watermark, Emitter* out) {
+    (void)watermark;
+    (void)out;
+    return Status::OK();
+  }
+
+  /// End of stream, after the final watermark. Flush any residual state.
+  virtual Status Finish(Emitter* out) {
+    (void)out;
+    return Status::OK();
+  }
+};
+
+/// \brief A data source. Pull-based: the executor's source thread drains it.
+class Spout {
+ public:
+  virtual ~Spout() = default;
+
+  /// Produces the next tuple; false at end of stream.
+  virtual bool Next(Tuple* out) = 0;
+};
+
+/// \brief Per-worker bolt factory: stage parallelism P creates P bolts.
+using BoltFactory = std::function<std::unique_ptr<Bolt>(int task_id)>;
+
+}  // namespace spear

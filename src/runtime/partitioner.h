@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sketch/hash.h"
+#include "tuple/field_extractor.h"
+#include "tuple/tuple.h"
+
+/// \file partitioner.h
+/// Tuple routing between stages ("the propagation of tuples between
+/// execution stages materializes using partitioning techniques",
+/// paper Sec. 2): shuffle (round-robin), fields (hash of a key — Storm's
+/// fields grouping), and global (everything to task 0).
+
+namespace spear {
+
+enum class PartitionKind : std::uint8_t { kShuffle, kFields, kGlobal };
+
+/// \brief Routing policy from one stage to the next.
+class Partitioner {
+ public:
+  static Partitioner Shuffle() { return Partitioner(PartitionKind::kShuffle); }
+  static Partitioner Global() { return Partitioner(PartitionKind::kGlobal); }
+  /// Fields grouping on the given key extractor: equal keys always land on
+  /// the same downstream task (required for grouped stateful operations).
+  static Partitioner Fields(KeyExtractor key) {
+    Partitioner p(PartitionKind::kFields);
+    p.key_ = std::move(key);
+    return p;
+  }
+
+  PartitionKind kind() const { return kind_; }
+
+  /// Target task in [0, parallelism) for this tuple. `rr_state` is the
+  /// caller-owned round-robin cursor (per emitting worker, so shuffle
+  /// needs no synchronization).
+  int TargetTask(const Tuple& tuple, int parallelism,
+                 std::uint64_t* rr_state) const {
+    if (parallelism <= 1) return 0;
+    switch (kind_) {
+      case PartitionKind::kShuffle:
+        return static_cast<int>((*rr_state)++ %
+                                static_cast<std::uint64_t>(parallelism));
+      case PartitionKind::kFields:
+        return static_cast<int>(HashString(key_(tuple), /*seed=*/71) %
+                                static_cast<std::uint64_t>(parallelism));
+      case PartitionKind::kGlobal:
+        return 0;
+    }
+    return 0;
+  }
+
+ private:
+  explicit Partitioner(PartitionKind kind) : kind_(kind) {}
+
+  PartitionKind kind_;
+  KeyExtractor key_;
+};
+
+}  // namespace spear

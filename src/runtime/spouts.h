@@ -1,0 +1,54 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runtime/operator.h"
+
+/// \file spouts.h
+/// Common sources. The paper's CQs read "data sequentially from a
+/// memory-mapped file"; VectorSpout is the in-memory equivalent, and
+/// GeneratorSpout adapts any pull callback (used by the dataset
+/// generators in src/data).
+
+namespace spear {
+
+/// \brief Replays a pre-materialized tuple vector in order.
+class VectorSpout : public Spout {
+ public:
+  explicit VectorSpout(std::vector<Tuple> tuples)
+      : tuples_(std::move(tuples)) {}
+
+  bool Next(Tuple* out) override {
+    if (cursor_ >= tuples_.size()) return false;
+    *out = tuples_[cursor_++];
+    return true;
+  }
+
+  std::size_t size() const { return tuples_.size(); }
+
+  /// Restarts replay from the beginning. A spout is exhausted after one
+  /// Executor run; rewind it (or build a fresh one) before reusing it in
+  /// another topology.
+  void Rewind() { cursor_ = 0; }
+
+ private:
+  std::vector<Tuple> tuples_;
+  std::size_t cursor_ = 0;
+};
+
+/// \brief Adapts a pull function `bool(Tuple*)` as a spout.
+class GeneratorSpout : public Spout {
+ public:
+  using PullFn = std::function<bool(Tuple*)>;
+
+  explicit GeneratorSpout(PullFn fn) : fn_(std::move(fn)) {}
+
+  bool Next(Tuple* out) override { return fn_(out); }
+
+ private:
+  PullFn fn_;
+};
+
+}  // namespace spear

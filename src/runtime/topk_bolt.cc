@@ -1,0 +1,78 @@
+#include "runtime/topk_bolt.h"
+
+#include "common/time.h"
+
+namespace spear {
+
+TopKBolt::TopKBolt(WindowSpec window, KeyExtractor key, std::size_t k)
+    : window_(window),
+      key_(std::move(key)),
+      k_(k),
+      last_watermark_(kMinTimestamp) {
+  SPEAR_CHECK(window_.IsValid());
+  SPEAR_CHECK(static_cast<bool>(key_));
+  SPEAR_CHECK(k_ > 0);
+}
+
+Status TopKBolt::Prepare(const BoltContext& ctx) {
+  metrics_ = ctx.metrics;
+  return Status::OK();
+}
+
+Status TopKBolt::Execute(const Tuple& tuple, Emitter* out) {
+  std::int64_t coord;
+  if (window_.type == WindowType::kCountBased) {
+    coord = sequence_++;
+  } else {
+    coord = tuple.event_time();
+  }
+  if (coord >= last_watermark_) {
+    const std::string key = key_(tuple);
+    for (const WindowBounds& w : AssignWindows(window_, coord)) {
+      auto it = trackers_.find(w.start);
+      if (it == trackers_.end()) {
+        auto tracker = SpaceSaving::Make(k_);
+        if (!tracker.ok()) return tracker.status();
+        it = trackers_.emplace(w.start, std::move(*tracker)).first;
+      }
+      it->second.Add(key);
+    }
+  }
+  if (window_.type == WindowType::kCountBased) {
+    return ProcessWatermark(sequence_, out);
+  }
+  return Status::OK();
+}
+
+Status TopKBolt::OnWatermark(Timestamp watermark, Emitter* out) {
+  if (window_.type == WindowType::kCountBased) return Status::OK();
+  return ProcessWatermark(watermark, out);
+}
+
+Status TopKBolt::ProcessWatermark(std::int64_t watermark, Emitter* out) {
+  watermark = ClampWatermark(window_, watermark);
+  if (watermark <= last_watermark_) return Status::OK();
+  last_watermark_ = watermark;
+  while (!trackers_.empty() &&
+         trackers_.begin()->first + window_.range <= watermark) {
+    auto it = trackers_.begin();
+    std::int64_t ns = 0;
+    {
+      ScopedTimerNs timer(&ns);
+      const WindowBounds bounds{it->first, it->first + window_.range};
+      for (const SpaceSaving::ItemEstimate& item : it->second.TopK()) {
+        out->Emit(Tuple(
+            bounds.end,
+            {Value(bounds.start), Value(bounds.end), Value(item.key),
+             Value(static_cast<double>(item.count)),
+             Value(std::int64_t{1}),
+             Value(static_cast<double>(item.error))}));
+      }
+    }
+    if (metrics_ != nullptr) metrics_->RecordWindowNs(ns);
+    trackers_.erase(it);
+  }
+  return Status::OK();
+}
+
+}  // namespace spear

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "runtime/operator.h"
+#include "sketch/space_saving.h"
+#include "tuple/field_extractor.h"
+#include "window/window_assigner.h"
+
+/// \file topk_bolt.h
+/// Windowed top-k frequent groups via SpaceSaving — the
+/// frequency-counting workload the paper's Sec. 3 discusses when
+/// contrasting sketches with SPEAr. One SpaceSaving instance per active
+/// window (k counters each); at watermark arrival the k heaviest groups
+/// are emitted as grouped result tuples:
+///
+///   [window_start, window_end, key, estimated_count, 1 (approx), error]
+
+namespace spear {
+
+/// \brief Windowed heavy-hitters stage.
+class TopKBolt : public Bolt {
+ public:
+  /// \param k    counters per window (and maximum emitted items)
+  /// \param key  group extractor
+  TopKBolt(WindowSpec window, KeyExtractor key, std::size_t k);
+
+  Status Prepare(const BoltContext& ctx) override;
+  Status Execute(const Tuple& tuple, Emitter* out) override;
+  Status OnWatermark(Timestamp watermark, Emitter* out) override;
+
+ private:
+  Status ProcessWatermark(std::int64_t watermark, Emitter* out);
+
+  const WindowSpec window_;
+  const KeyExtractor key_;
+  const std::size_t k_;
+
+  std::map<std::int64_t, SpaceSaving> trackers_;
+  std::int64_t last_watermark_;
+  WorkerMetrics* metrics_ = nullptr;
+  std::int64_t sequence_ = 0;
+};
+
+}  // namespace spear

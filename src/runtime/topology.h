@@ -1,0 +1,97 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/time.h"
+#include "runtime/operator.h"
+#include "runtime/partitioner.h"
+
+/// \file topology.h
+/// CQ -> distributed execution plan (paper Sec. 2): a topologically-sorted
+/// chain of stages, each with its own parallelism and input partitioning.
+/// Built with TopologyBuilder, executed by Executor.
+
+namespace spear {
+
+/// \brief One processing stage of the DAG.
+struct StageSpec {
+  std::string name;
+  int parallelism = 1;
+  /// How the *upstream* stage routes tuples to this stage.
+  Partitioner input_partitioner = Partitioner::Shuffle();
+  BoltFactory bolt_factory;
+};
+
+/// \brief Source configuration: the spout plus its watermarking policy.
+struct SourceSpec {
+  std::shared_ptr<Spout> spout;
+  /// Emit a watermark every this much observed event time. <= 0 disables
+  /// source watermarks (only the final end-of-stream watermark fires);
+  /// count-based CQs typically disable them.
+  DurationMs watermark_interval = 0;
+  /// Bounded out-of-orderness allowance.
+  DurationMs max_lateness = 0;
+};
+
+/// \brief An executable plan. Immutable once built.
+struct Topology {
+  SourceSpec source;
+  std::vector<StageSpec> stages;
+  /// Capacity of each inter-stage queue (back-pressure bound).
+  std::size_t queue_capacity = 1024;
+};
+
+/// \brief Fluent builder mirroring the structure of the paper's Fig. 2
+/// DAG: source -> stateless stage(s) -> windowed stateful stage -> sink.
+class TopologyBuilder {
+ public:
+  /// Sets the data source. `watermark_interval <= 0` disables periodic
+  /// watermarks (the final watermark still fires at end of stream).
+  TopologyBuilder& Source(std::shared_ptr<Spout> spout,
+                          DurationMs watermark_interval = 0,
+                          DurationMs max_lateness = 0) {
+    topology_.source = SourceSpec{std::move(spout), watermark_interval,
+                                  max_lateness};
+    return *this;
+  }
+
+  /// Appends a stage fed by the previous one (or the source).
+  TopologyBuilder& Stage(std::string name, int parallelism,
+                         Partitioner input_partitioner, BoltFactory factory) {
+    topology_.stages.push_back(StageSpec{std::move(name), parallelism,
+                                         std::move(input_partitioner),
+                                         std::move(factory)});
+    return *this;
+  }
+
+  TopologyBuilder& QueueCapacity(std::size_t capacity) {
+    topology_.queue_capacity = capacity;
+    return *this;
+  }
+
+  /// Validates and returns the plan.
+  Result<Topology> Build() {
+    if (!topology_.source.spout) return Status::Invalid("topology has no source");
+    if (topology_.stages.empty()) return Status::Invalid("topology has no stages");
+    for (const StageSpec& s : topology_.stages) {
+      if (s.parallelism < 1) {
+        return Status::Invalid("stage '" + s.name + "' parallelism must be >= 1");
+      }
+      if (!s.bolt_factory) {
+        return Status::Invalid("stage '" + s.name + "' has no bolt factory");
+      }
+    }
+    if (topology_.queue_capacity == 0) {
+      return Status::Invalid("queue capacity must be > 0");
+    }
+    return topology_;
+  }
+
+ private:
+  Topology topology_;
+};
+
+}  // namespace spear

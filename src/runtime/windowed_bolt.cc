@@ -1,0 +1,179 @@
+#include "runtime/windowed_bolt.h"
+
+#include "common/time.h"
+
+namespace spear {
+
+std::vector<Tuple> WindowResultToTuples(const WindowResult& result) {
+  std::vector<Tuple> out;
+  const Value start(result.bounds.start);
+  const Value end(result.bounds.end);
+  const Value approx(static_cast<std::int64_t>(result.approximate ? 1 : 0));
+  const Value err(result.estimated_error);
+  if (!result.is_grouped) {
+    out.emplace_back(result.bounds.end,
+                     std::vector<Value>{start, end, Value(result.scalar),
+                                        approx, err});
+    return out;
+  }
+  out.reserve(result.groups.size());
+  for (const auto& [key, value] : result.groups) {
+    out.emplace_back(result.bounds.end,
+                     std::vector<Value>{start, end, Value(key), Value(value),
+                                        approx, err});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ExactWindowedBolt
+// ---------------------------------------------------------------------------
+
+ExactWindowedBolt::ExactWindowedBolt(ExactWindowedBoltConfig config)
+    : config_(std::move(config)),
+      operator_(config_.aggregate, config_.value_extractor,
+                config_.key_extractor) {
+  SPEAR_CHECK(config_.window.IsValid());
+}
+
+Status ExactWindowedBolt::Prepare(const BoltContext& ctx) {
+  metrics_ = ctx.metrics;
+  if (config_.use_multi_buffer) {
+    if (config_.memory_capacity != 0) {
+      return Status::Invalid(
+          "multi-buffer manager does not support spilling");
+    }
+    manager_ = std::make_unique<MultiBufferWindowManager>(config_.window);
+  } else {
+    manager_ = std::make_unique<SingleBufferWindowManager>(
+        config_.window, config_.memory_capacity, config_.storage,
+        "exact-bolt-" + std::to_string(ctx.task_id));
+  }
+  return Status::OK();
+}
+
+Status ExactWindowedBolt::Execute(const Tuple& tuple, Emitter* out) {
+  std::int64_t coord;
+  if (config_.window.type == WindowType::kCountBased) {
+    coord = sequence_++;
+  } else {
+    coord = tuple.event_time();
+  }
+  manager_->OnTuple(coord, tuple);
+  if (config_.window.type == WindowType::kCountBased) {
+    // All coordinates below `sequence_` have been observed: that is the
+    // exclusive watermark for count windows.
+    return ProcessWatermark(sequence_, out);
+  }
+  return Status::OK();
+}
+
+Status ExactWindowedBolt::OnWatermark(Timestamp watermark, Emitter* out) {
+  if (config_.window.type == WindowType::kCountBased) {
+    // Count windows complete by cardinality; event-time watermarks only
+    // matter at end of stream, where the final watermark flushes the
+    // (possibly incomplete) tail — which count semantics discard.
+    return Status::OK();
+  }
+  return ProcessWatermark(watermark, out);
+}
+
+Status ExactWindowedBolt::ProcessWatermark(std::int64_t watermark,
+                                           Emitter* out) {
+  std::int64_t staging_ns = 0;
+  Result<std::vector<CompleteWindow>> staged = [&] {
+    ScopedTimerNs timer(&staging_ns);
+    return manager_->OnWatermark(watermark);
+  }();
+  if (!staged.ok()) return staged.status();
+  if (staged->empty()) return Status::OK();
+
+  const std::int64_t staging_share =
+      staging_ns / static_cast<std::int64_t>(staged->size());
+  for (const CompleteWindow& window : *staged) {
+    std::int64_t process_ns = 0;
+    Result<WindowResult> result = [&] {
+      ScopedTimerNs timer(&process_ns);
+      return operator_.Process(window);
+    }();
+    if (!result.ok()) return result.status();
+    result->processing_ns = process_ns + staging_share;
+
+    if (metrics_ != nullptr) {
+      metrics_->RecordWindowNs(result->processing_ns);
+      if (config_.record_memory) {
+        // Memory used to produce this result: the staged window itself.
+        std::size_t bytes = 0;
+        for (const Tuple& t : window.tuples) bytes += t.ByteSize();
+        metrics_->RecordMemoryBytes(bytes);
+      }
+    }
+    for (Tuple& t : WindowResultToTuples(*result)) out->Emit(std::move(t));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalWindowedBolt
+// ---------------------------------------------------------------------------
+
+IncrementalWindowedBolt::IncrementalWindowedBolt(WindowSpec window,
+                                                 AggregateSpec aggregate,
+                                                 ValueExtractor value_extractor,
+                                                 KeyExtractor key_extractor)
+    : window_(window),
+      operator_(aggregate, window, std::move(value_extractor),
+                std::move(key_extractor)) {}
+
+Status IncrementalWindowedBolt::Prepare(const BoltContext& ctx) {
+  metrics_ = ctx.metrics;
+  return Status::OK();
+}
+
+Status IncrementalWindowedBolt::Execute(const Tuple& tuple, Emitter* out) {
+  std::int64_t coord;
+  if (window_.type == WindowType::kCountBased) {
+    coord = sequence_++;
+  } else {
+    coord = tuple.event_time();
+  }
+  operator_.OnTuple(coord, tuple);
+  if (window_.type == WindowType::kCountBased) {
+    return ProcessWatermark(sequence_, out);
+  }
+  return Status::OK();
+}
+
+Status IncrementalWindowedBolt::OnWatermark(Timestamp watermark,
+                                            Emitter* out) {
+  if (window_.type == WindowType::kCountBased) return Status::OK();
+  return ProcessWatermark(watermark, out);
+}
+
+Status IncrementalWindowedBolt::ProcessWatermark(std::int64_t watermark,
+                                                 Emitter* out) {
+  std::int64_t total_ns = 0;
+  Result<std::vector<WindowResult>> results = [&] {
+    ScopedTimerNs timer(&total_ns);
+    return operator_.OnWatermark(watermark);
+  }();
+  if (!results.ok()) return results.status();
+  if (results->empty()) return Status::OK();
+
+  const std::int64_t share =
+      total_ns / static_cast<std::int64_t>(results->size());
+  for (WindowResult& result : *results) {
+    result.processing_ns = share;
+    if (metrics_ != nullptr) {
+      metrics_->RecordWindowNs(result.processing_ns);
+      // Incremental state: one accumulator per active window.
+      metrics_->RecordMemoryBytes(sizeof(RunningStats) *
+                                  std::max<std::size_t>(
+                                      operator_.active_windows(), 1));
+    }
+    for (Tuple& t : WindowResultToTuples(result)) out->Emit(std::move(t));
+  }
+  return Status::OK();
+}
+
+}  // namespace spear

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <memory>
+
+#include "ops/exact_operator.h"
+#include "ops/incremental_operator.h"
+#include "runtime/operator.h"
+#include "window/multi_buffer_manager.h"
+#include "window/single_buffer_manager.h"
+
+/// \file windowed_bolt.h
+/// Stateful windowed stages for the runtime:
+///  * ExactWindowedBolt — the "Storm" baseline: buffer everything
+///    (single- or multi-buffer design), process whole windows at
+///    watermark arrival.
+///  * IncrementalWindowedBolt — the "Inc-Storm" baseline: constant-state
+///    accumulators updated at tuple arrival (non-holistic aggregates only).
+///
+/// Both emit one result tuple per window (scalar) or per (window, group):
+///   scalar : [start, end, value, approx(0/1), est_err] @ event_time=end
+///   grouped: [start, end, key, value, approx(0/1), est_err]
+/// and record per-window processing time and memory through the worker's
+/// metrics (the paper's measurement methodology).
+
+namespace spear {
+
+/// \brief Encodes a WindowResult as output tuples (see file comment).
+std::vector<Tuple> WindowResultToTuples(const WindowResult& result);
+
+/// \brief Field positions of the encoded result tuples.
+struct ResultTupleLayout {
+  static constexpr std::size_t kStart = 0;
+  static constexpr std::size_t kEnd = 1;
+  /// Scalar: value at 2, approx at 3, err at 4.
+  static constexpr std::size_t kScalarValue = 2;
+  static constexpr std::size_t kScalarApprox = 3;
+  static constexpr std::size_t kScalarError = 4;
+  /// Grouped: key at 2, value at 3, approx at 4, err at 5.
+  static constexpr std::size_t kGroupKey = 2;
+  static constexpr std::size_t kGroupValue = 3;
+  static constexpr std::size_t kGroupApprox = 4;
+  static constexpr std::size_t kGroupError = 5;
+};
+
+/// \brief Configuration shared by the exact windowed bolt variants.
+struct ExactWindowedBoltConfig {
+  WindowSpec window;
+  AggregateSpec aggregate;
+  ValueExtractor value_extractor;
+  KeyExtractor key_extractor;  ///< null => scalar operation
+
+  /// Use the multiple-buffers (Flink) design instead of single-buffer.
+  bool use_multi_buffer = false;
+
+  /// Tuples held in memory before spilling to S (0 = unlimited).
+  std::size_t memory_capacity = 0;
+  SecondaryStorage* storage = nullptr;
+
+  /// Sample the staged window's memory footprint per window (Fig. 7).
+  bool record_memory = true;
+};
+
+/// \brief Exact ("Storm") windowed stateful stage.
+class ExactWindowedBolt : public Bolt {
+ public:
+  explicit ExactWindowedBolt(ExactWindowedBoltConfig config);
+
+  Status Prepare(const BoltContext& ctx) override;
+  Status Execute(const Tuple& tuple, Emitter* out) override;
+  Status OnWatermark(Timestamp watermark, Emitter* out) override;
+
+  const WindowManager& window_manager() const { return *manager_; }
+
+ private:
+  Status ProcessWatermark(std::int64_t watermark, Emitter* out);
+
+  const ExactWindowedBoltConfig config_;
+  ExactWindowOperator operator_;
+  std::unique_ptr<WindowManager> manager_;
+  WorkerMetrics* metrics_ = nullptr;
+  std::int64_t sequence_ = 0;  ///< count-based coordinate assignment
+};
+
+/// \brief Incremental ("Inc-Storm") windowed stateful stage. Non-holistic
+/// aggregates only (checked at construction).
+class IncrementalWindowedBolt : public Bolt {
+ public:
+  IncrementalWindowedBolt(WindowSpec window, AggregateSpec aggregate,
+                          ValueExtractor value_extractor,
+                          KeyExtractor key_extractor = nullptr);
+
+  Status Prepare(const BoltContext& ctx) override;
+  Status Execute(const Tuple& tuple, Emitter* out) override;
+  Status OnWatermark(Timestamp watermark, Emitter* out) override;
+
+ private:
+  Status ProcessWatermark(std::int64_t watermark, Emitter* out);
+
+  const WindowSpec window_;
+  IncrementalOperator operator_;
+  WorkerMetrics* metrics_ = nullptr;
+  std::int64_t sequence_ = 0;
+};
+
+}  // namespace spear

@@ -1,0 +1,45 @@
+#include "sketch/bloom_filter.h"
+
+namespace spear {
+
+Result<BloomFilter> BloomFilter::Make(std::size_t expected_items,
+                                      double fp_rate, std::uint64_t seed) {
+  if (expected_items == 0) return Status::Invalid("expected_items must be > 0");
+  if (!(fp_rate > 0.0 && fp_rate < 1.0)) {
+    return Status::Invalid("fp_rate must be in (0, 1)");
+  }
+  const double ln2 = std::log(2.0);
+  const double bits_per_item = -std::log(fp_rate) / (ln2 * ln2);
+  const auto bit_count = static_cast<std::size_t>(
+      std::ceil(bits_per_item * static_cast<double>(expected_items)));
+  const int hash_count =
+      std::max(1, static_cast<int>(std::round(bits_per_item * ln2)));
+  return BloomFilter(std::max<std::size_t>(bit_count, 64), hash_count, seed);
+}
+
+void BloomFilter::Add(std::string_view key) {
+  for (int i = 0; i < hash_count_; ++i) {
+    const std::size_t bit = BitIndex(key, i);
+    bits_[bit >> 6] |= (std::uint64_t{1} << (bit & 63));
+  }
+  ++inserted_;
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  for (int i = 0; i < hash_count_; ++i) {
+    const std::size_t bit = BitIndex(key, i);
+    if ((bits_[bit >> 6] & (std::uint64_t{1} << (bit & 63))) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double BloomFilter::EstimatedFpRate() const {
+  const double k = hash_count_;
+  const double n = static_cast<double>(inserted_);
+  const double m = static_cast<double>(bit_count_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+}  // namespace spear

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sketch/hash.h"
+
+/// \file bloom_filter.h
+/// Standard Bloom filter (membership inclusion, the paper's [32] family):
+/// no false negatives, tunable false-positive rate. Rounds out the sketch
+/// library's coverage of the techniques Sec. 3 contrasts SPEAr with.
+
+namespace spear {
+
+/// \brief Bloom filter sized for an expected insert count and target
+/// false-positive probability.
+class BloomFilter {
+ public:
+  /// \param expected_items planned number of distinct inserts (> 0)
+  /// \param fp_rate        target false-positive probability in (0, 1)
+  static Result<BloomFilter> Make(std::size_t expected_items, double fp_rate,
+                                  std::uint64_t seed = 0xB100);
+
+  void Add(std::string_view key);
+
+  /// True iff `key` may have been added (definitely-absent when false).
+  bool MayContain(std::string_view key) const;
+
+  std::size_t bit_count() const { return bit_count_; }
+  int hash_count() const { return hash_count_; }
+  std::size_t MemoryBytes() const { return bits_.size() * sizeof(std::uint64_t); }
+  std::uint64_t inserted() const { return inserted_; }
+
+  /// Predicted false-positive rate at the current load.
+  double EstimatedFpRate() const;
+
+ private:
+  BloomFilter(std::size_t bit_count, int hash_count, std::uint64_t seed)
+      : bit_count_(bit_count),
+        hash_count_(hash_count),
+        seed_(seed),
+        bits_((bit_count + 63) / 64, 0) {}
+
+  std::size_t BitIndex(std::string_view key, int i) const {
+    // Kirsch-Mitzenmacher double hashing.
+    const std::uint64_t h1 = HashString(key, seed_);
+    const std::uint64_t h2 = HashString(key, seed_ ^ 0x9E3779B97F4A7C15ULL);
+    return static_cast<std::size_t>(
+        (h1 + static_cast<std::uint64_t>(i) * h2) % bit_count_);
+  }
+
+  std::size_t bit_count_;
+  int hash_count_;
+  std::uint64_t seed_;
+  std::vector<std::uint64_t> bits_;
+  std::uint64_t inserted_ = 0;
+};
+
+}  // namespace spear

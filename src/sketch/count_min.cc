@@ -1,0 +1,98 @@
+#include "sketch/count_min.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sketch/hash.h"
+
+namespace spear {
+
+Result<CountMinSketch> CountMinSketch::Make(double epsilon, double delta,
+                                            std::uint64_t seed) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    return Status::Invalid("epsilon must be in (0, 1)");
+  }
+  if (!(delta > 0.0 && delta < 1.0)) {
+    return Status::Invalid("delta must be in (0, 1)");
+  }
+  const auto width = static_cast<std::size_t>(
+      std::ceil(std::exp(1.0) / epsilon));
+  const auto depth =
+      static_cast<std::size_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(std::max<std::size_t>(width, 1),
+                        std::max<std::size_t>(depth, 1), seed);
+}
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
+                               std::uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed),
+      counters_(width * depth, 0.0) {}
+
+std::size_t CountMinSketch::RowIndex(std::size_t row,
+                                     std::string_view key) const {
+  const std::uint64_t h = HashString(key, seed_ + row * 0x9E3779B97F4A7C15ULL);
+  return row * width_ + static_cast<std::size_t>(h % width_);
+}
+
+void CountMinSketch::Update(std::string_view key, double amount) {
+  for (std::size_t row = 0; row < depth_; ++row) {
+    counters_[RowIndex(row, key)] += amount;
+  }
+  total_ += amount;
+}
+
+double CountMinSketch::Estimate(std::string_view key) const {
+  double est = std::numeric_limits<double>::infinity();
+  for (std::size_t row = 0; row < depth_; ++row) {
+    est = std::min(est, counters_[RowIndex(row, key)]);
+  }
+  return est;
+}
+
+void CountMinSketch::Reset() {
+  std::fill(counters_.begin(), counters_.end(), 0.0);
+  total_ = 0.0;
+}
+
+Result<CountMinGroupedAggregator> CountMinGroupedAggregator::Make(
+    double epsilon, double delta, std::uint64_t seed) {
+  SPEAR_ASSIGN_OR_RETURN(CountMinSketch sums,
+                         CountMinSketch::Make(epsilon, delta, seed));
+  SPEAR_ASSIGN_OR_RETURN(CountMinSketch counts,
+                         CountMinSketch::Make(epsilon, delta, seed + 17));
+  return CountMinGroupedAggregator(std::move(sums), std::move(counts));
+}
+
+void CountMinGroupedAggregator::Update(std::string_view key, double value) {
+  sums_.Update(key, value);
+  counts_.Update(key, 1.0);
+  // Track the distinct-group set (required to enumerate the result; this
+  // is the storage overhead the paper calls out for sketches).
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) keys_.insert(it, std::string(key));
+}
+
+double CountMinGroupedAggregator::EstimateMean(std::string_view key) const {
+  const double count = counts_.Estimate(key);
+  if (count <= 0.0) return 0.0;
+  return sums_.Estimate(key) / count;
+}
+
+std::vector<std::string> CountMinGroupedAggregator::Keys() const {
+  return keys_;
+}
+
+std::size_t CountMinGroupedAggregator::MemoryBytes() const {
+  std::size_t bytes = sums_.MemoryBytes() + counts_.MemoryBytes();
+  for (const auto& k : keys_) bytes += k.size() + sizeof(std::string);
+  return bytes;
+}
+
+void CountMinGroupedAggregator::Reset() {
+  sums_.Reset();
+  counts_.Reset();
+  keys_.clear();
+}
+
+}  // namespace spear

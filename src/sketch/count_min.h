@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file count_min.h
+/// CountMin sketch (Cormode & Muthukrishnan, the paper's [29]) — the
+/// state-of-the-art sketching baseline SPEAr is compared against in
+/// Table 2. Guarantees: estimate <= true + eps * total with probability
+/// >= 1 - delta, using width = ceil(e / eps), depth = ceil(ln(1 / delta)).
+///
+/// As the paper notes, reconstructing a grouped result from a CountMin
+/// still requires tracking the distinct groups separately; see
+/// CountMinGroupedAggregator below, which mirrors how the paper's
+/// comparison CQ used StreamLib.
+
+namespace spear {
+
+/// \brief CountMin over double-valued increments (counts or sums).
+class CountMinSketch {
+ public:
+  /// \param epsilon additive error fraction of the L1 mass, in (0, 1)
+  /// \param delta   failure probability, in (0, 1)
+  /// \param seed    hash seed
+  static Result<CountMinSketch> Make(double epsilon, double delta,
+                                     std::uint64_t seed = 0xC0);
+
+  /// Direct geometry constructor (width x depth counters).
+  CountMinSketch(std::size_t width, std::size_t depth, std::uint64_t seed);
+
+  /// Adds `amount` to `key`'s cell in every row. O(depth) hashes.
+  void Update(std::string_view key, double amount = 1.0);
+
+  /// Point query: min over rows — never underestimates.
+  double Estimate(std::string_view key) const;
+
+  std::size_t width() const { return width_; }
+  std::size_t depth() const { return depth_; }
+  double total_mass() const { return total_; }
+
+  /// Bytes of counter storage.
+  std::size_t MemoryBytes() const {
+    return counters_.size() * sizeof(double);
+  }
+
+  void Reset();
+
+ private:
+  std::size_t RowIndex(std::size_t row, std::string_view key) const;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::uint64_t seed_;
+  std::vector<double> counters_;  // row-major depth x width
+  double total_ = 0.0;
+};
+
+/// \brief Grouped mean via two CountMin sketches (sum + count) plus the
+/// distinct-group set needed to enumerate results — the Table 2 baseline.
+class CountMinGroupedAggregator {
+ public:
+  static Result<CountMinGroupedAggregator> Make(double epsilon, double delta,
+                                                std::uint64_t seed = 0xC1);
+
+  /// Records one observation for `key`.
+  void Update(std::string_view key, double value);
+
+  /// Estimated mean of `key` (estimated sum / estimated count).
+  double EstimateMean(std::string_view key) const;
+
+  /// All distinct keys seen this window (sorted).
+  std::vector<std::string> Keys() const;
+
+  std::size_t MemoryBytes() const;
+
+  void Reset();
+
+ private:
+  CountMinGroupedAggregator(CountMinSketch sums, CountMinSketch counts)
+      : sums_(std::move(sums)), counts_(std::move(counts)) {}
+
+  CountMinSketch sums_;
+  CountMinSketch counts_;
+  std::vector<std::string> keys_;  // kept sorted & deduplicated
+};
+
+}  // namespace spear

@@ -1,0 +1,100 @@
+#include "sketch/gk_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+// GCC 12 falsely reports free-nonheap-object through inlined vector
+// reallocation on this translation unit (PR104475 family).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wfree-nonheap-object"
+#endif
+
+namespace spear {
+
+Result<GkQuantileSketch> GkQuantileSketch::Make(double epsilon) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    return Status::Invalid("epsilon must be in (0, 1)");
+  }
+  return GkQuantileSketch(epsilon);
+}
+
+void GkQuantileSketch::Add(double value) {
+  ++count_;
+  const double two_eps_n = 2.0 * epsilon_ * static_cast<double>(count_);
+
+  // Position of the first entry with a larger value.
+  const auto it = std::upper_bound(
+      entries_.begin(), entries_.end(), value,
+      [](double v, const Entry& e) { return v < e.value; });
+
+  Entry entry;
+  entry.value = value;
+  entry.g = 1;
+  // New extrema are exact; interior insertions inherit the local
+  // uncertainty budget floor(2 eps n) - 1.
+  if (it == entries_.begin() || it == entries_.end()) {
+    entry.delta = 0;
+  } else {
+    const double budget = std::floor(two_eps_n) - 1.0;
+    entry.delta = budget > 0.0 ? static_cast<std::uint64_t>(budget) : 0;
+  }
+  entries_.insert(it, entry);
+
+  // Compress periodically (every ~1/(2 eps) inserts keeps the summary at
+  // its asymptotic size without quadratic overhead).
+  const auto period =
+      static_cast<std::uint64_t>(std::ceil(1.0 / (2.0 * epsilon_)));
+  if (count_ % std::max<std::uint64_t>(period, 1) == 0) Compress();
+}
+
+void GkQuantileSketch::Compress() {
+  if (entries_.size() < 3) return;
+  const double two_eps_n = 2.0 * epsilon_ * static_cast<double>(count_);
+  // Merge an entry into its successor when the combined rank band fits
+  // the error budget. Forward scan with a carry of absorbed gaps; the
+  // extrema stay untouched.
+  std::vector<Entry> merged;
+  merged.reserve(entries_.size());
+  merged.push_back(entries_.front());
+  std::uint64_t carry = 0;
+  for (std::size_t i = 1; i + 1 < entries_.size(); ++i) {
+    const Entry& current = entries_[i];
+    const Entry& next = entries_[i + 1];
+    if (static_cast<double>(carry + current.g + next.g + next.delta) <=
+        two_eps_n) {
+      carry += current.g;  // absorb into the successor (deferred)
+    } else {
+      Entry kept = current;
+      kept.g += carry;
+      carry = 0;
+      merged.push_back(kept);
+    }
+  }
+  Entry last = entries_.back();
+  last.g += carry;
+  merged.push_back(last);
+  entries_ = std::move(merged);
+}
+
+Result<double> GkQuantileSketch::Quantile(double phi) const {
+  if (entries_.empty()) return Status::Invalid("quantile of empty sketch");
+  if (!(phi >= 0.0 && phi <= 1.0)) {
+    return Status::Invalid("phi must be in [0, 1]");
+  }
+  const double rank = phi * static_cast<double>(count_ - 1) + 1.0;
+  const double allowed = epsilon_ * static_cast<double>(count_);
+
+  std::uint64_t r_min = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    r_min += entries_[i].g;
+    const std::uint64_t r_max = r_min + entries_[i].delta;
+    // First entry whose rank band covers the target within the budget.
+    if (static_cast<double>(r_max) >= rank - allowed &&
+        static_cast<double>(r_min) <= rank + allowed) {
+      return entries_[i].value;
+    }
+  }
+  return entries_.back().value;
+}
+
+}  // namespace spear

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file gk_quantile.h
+/// Greenwald-Khanna streaming quantile summary ("Space-efficient online
+/// computation of quantile summaries", SIGMOD 2001) — the classic
+/// bounded-memory alternative to SPEAr's reservoir for holistic
+/// operations, in the spirit of the paper's [48]. Guarantees rank error
+/// <= epsilon * n deterministically with O((1/eps) log(eps n)) entries.
+/// Included as an ablation baseline: deterministic error, but a per-tuple
+/// insert/compress cost that SPEAr's reservoir avoids.
+
+namespace spear {
+
+/// \brief epsilon-approximate quantile summary over a stream of doubles.
+class GkQuantileSketch {
+ public:
+  /// \param epsilon rank-error bound in (0, 1).
+  static Result<GkQuantileSketch> Make(double epsilon);
+
+  /// Inserts one observation. Amortized O(log size) per tuple.
+  void Add(double value);
+
+  /// phi-quantile with rank error <= epsilon * count(). Invalid when empty
+  /// or phi outside [0, 1].
+  Result<double> Quantile(double phi) const;
+
+  std::uint64_t count() const { return count_; }
+  std::size_t summary_size() const { return entries_.size(); }
+  std::size_t MemoryBytes() const {
+    return entries_.capacity() * sizeof(Entry);
+  }
+
+  void Reset() {
+    entries_.clear();
+    count_ = 0;
+  }
+
+ private:
+  struct Entry {
+    double value;
+    std::uint64_t g;      ///< rank gap to the previous entry
+    std::uint64_t delta;  ///< rank uncertainty of this entry
+  };
+
+  explicit GkQuantileSketch(double epsilon) : epsilon_(epsilon) {}
+
+  void Compress();
+
+  double epsilon_;
+  std::vector<Entry> entries_;  // sorted by value
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace spear

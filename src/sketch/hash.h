@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+/// \file hash.h
+/// 64-bit mixing hashes for sketches. Deliberately *not* trivial hashes:
+/// part of the CountMin story in the paper (Sec. 3, Table 2) is that each
+/// tuple pays for `depth` independent hash evaluations, so the per-tuple
+/// cost here must be representative of a real sketch implementation.
+
+namespace spear {
+
+/// \brief XXH64-style avalanche finisher.
+inline std::uint64_t MixHash64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// \brief FNV-1a over bytes, then avalanche-mixed.
+inline std::uint64_t HashBytes(const void* data, std::size_t len,
+                               std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xCBF29CE484222325ULL ^ seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return MixHash64(h);
+}
+
+inline std::uint64_t HashString(std::string_view s, std::uint64_t seed) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+inline std::uint64_t HashInt64(std::int64_t v, std::uint64_t seed) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return MixHash64(bits ^ (seed * 0x9E3779B97F4A7C15ULL));
+}
+
+}  // namespace spear

@@ -1,0 +1,65 @@
+#include "sketch/hyperloglog.h"
+
+#include <bit>
+
+namespace spear {
+
+Result<HyperLogLog> HyperLogLog::Make(int precision, std::uint64_t seed) {
+  if (precision < 4 || precision > 18) {
+    return Status::Invalid("precision must be in [4, 18]");
+  }
+  return HyperLogLog(precision, seed);
+}
+
+void HyperLogLog::AddHash(std::uint64_t h) {
+  const std::size_t index =
+      static_cast<std::size_t>(h >> (64 - precision_));
+  const std::uint64_t rest = h << precision_;
+  // Rank = position of the leftmost 1-bit in the remaining bits, 1-based;
+  // all-zero remainder gets the maximum rank.
+  const int rank =
+      rest == 0 ? (64 - precision_ + 1) : (std::countl_zero(rest) + 1);
+  if (registers_[index] < rank) {
+    registers_[index] = static_cast<std::uint8_t>(rank);
+  }
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() == 16) {
+    alpha = 0.673;
+  } else if (registers_.size() == 32) {
+    alpha = 0.697;
+  } else if (registers_.size() == 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double harmonic = 0.0;
+  std::size_t zeros = 0;
+  for (std::uint8_t r : registers_) {
+    harmonic += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double estimate = alpha * m * m / harmonic;
+  // Small-range correction: linear counting while registers are sparse.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+Status HyperLogLog::Merge(const HyperLogLog& other) {
+  if (other.precision_ != precision_) {
+    return Status::Invalid("precision mismatch in HLL merge");
+  }
+  for (std::size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) {
+      registers_[i] = other.registers_[i];
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace spear

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sketch/hash.h"
+
+/// \file hyperloglog.h
+/// HyperLogLog cardinality estimator (the paper's [33]), provided as a
+/// second representative sketch for the related-work comparison and used
+/// by the data generators' self-checks to validate group cardinalities.
+
+namespace spear {
+
+/// \brief HLL with 2^precision registers and the standard bias-corrected
+/// estimator (including small-range linear counting).
+class HyperLogLog {
+ public:
+  /// \param precision register-index bits, in [4, 18]
+  static Result<HyperLogLog> Make(int precision = 12,
+                                  std::uint64_t seed = 0x411);
+
+  void Add(std::string_view key) { AddHash(HashString(key, seed_)); }
+  void AddInt64(std::int64_t v) { AddHash(HashInt64(v, seed_)); }
+
+  /// Estimated number of distinct elements added.
+  double Estimate() const;
+
+  /// Merges another sketch with identical precision (register-wise max).
+  Status Merge(const HyperLogLog& other);
+
+  std::size_t MemoryBytes() const { return registers_.size(); }
+  int precision() const { return precision_; }
+
+  void Reset() { std::fill(registers_.begin(), registers_.end(), 0); }
+
+ private:
+  HyperLogLog(int precision, std::uint64_t seed)
+      : precision_(precision),
+        seed_(seed),
+        registers_(static_cast<std::size_t>(1) << precision, 0) {}
+
+  void AddHash(std::uint64_t h);
+
+  int precision_;
+  std::uint64_t seed_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace spear

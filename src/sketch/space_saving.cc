@@ -1,0 +1,53 @@
+#include "sketch/space_saving.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace spear {
+
+Result<SpaceSaving> SpaceSaving::Make(std::size_t capacity) {
+  if (capacity == 0) return Status::Invalid("capacity must be > 0");
+  return SpaceSaving(capacity);
+}
+
+void SpaceSaving::Add(std::string_view key) {
+  ++total_;
+  const auto it = counters_.find(std::string(key));
+  if (it != counters_.end()) {
+    ++it->second.count;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(std::string(key), Counter{1, 0});
+    return;
+  }
+  // Evict the minimum counter; the newcomer inherits its count as the
+  // over-count bound (the SpaceSaving takeover rule).
+  auto min_it = counters_.begin();
+  for (auto c = counters_.begin(); c != counters_.end(); ++c) {
+    if (c->second.count < min_it->second.count) min_it = c;
+  }
+  const std::uint64_t min_count = min_it->second.count;
+  counters_.erase(min_it);
+  counters_.emplace(std::string(key), Counter{min_count + 1, min_count});
+}
+
+std::uint64_t SpaceSaving::EstimateCount(std::string_view key) const {
+  const auto it = counters_.find(std::string(key));
+  return it == counters_.end() ? 0 : it->second.count;
+}
+
+std::vector<SpaceSaving::ItemEstimate> SpaceSaving::TopK() const {
+  std::vector<ItemEstimate> out;
+  out.reserve(counters_.size());
+  for (const auto& [key, counter] : counters_) {
+    out.push_back(ItemEstimate{key, counter.count, counter.error});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ItemEstimate& a, const ItemEstimate& b) {
+              return a.count != b.count ? a.count > b.count : a.key < b.key;
+            });
+  return out;
+}
+
+}  // namespace spear

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file space_saving.h
+/// SpaceSaving / frequent-items (Metwally et al., "Efficient computation
+/// of frequent and top-k elements in data streams", ICDT 2005 — the
+/// paper's [28]). Maintains k counters; any item with true frequency
+/// > n/k is guaranteed to be tracked, and each estimate over-counts by at
+/// most the minimum counter. Another representative of the sketch family
+/// the paper positions SPEAr against.
+
+namespace spear {
+
+/// \brief Top-k frequency estimator with k counters.
+class SpaceSaving {
+ public:
+  /// \param capacity number of monitored items (k > 0).
+  static Result<SpaceSaving> Make(std::size_t capacity);
+
+  /// Records one occurrence of `key`.
+  void Add(std::string_view key);
+
+  struct ItemEstimate {
+    std::string key;
+    std::uint64_t count = 0;  ///< upper bound on the true frequency
+    std::uint64_t error = 0;  ///< max over-count (min counter at takeover)
+  };
+
+  /// Estimated frequency of `key` (0 when unmonitored).
+  std::uint64_t EstimateCount(std::string_view key) const;
+
+  /// Monitored items sorted by estimated count, descending.
+  std::vector<ItemEstimate> TopK() const;
+
+  std::uint64_t total() const { return total_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t monitored() const { return counters_.size(); }
+
+ private:
+  explicit SpaceSaving(std::size_t capacity) : capacity_(capacity) {}
+
+  struct Counter {
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;
+  };
+
+  std::size_t capacity_;
+  std::unordered_map<std::string, Counter> counters_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace spear

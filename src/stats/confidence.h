@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+
+/// \file confidence.h
+/// Normal-approximation confidence intervals with finite-population
+/// correction (Cochran, *Sampling Techniques*), the machinery of the
+/// paper's Sec. 4.2:
+///
+///     y_low  = y - z * s/sqrt(n) * sqrt(1 - n/N)
+///     y_high = y + z * s/sqrt(n) * sqrt(1 - n/N)
+///
+/// SPEAr treats the half-width as a relative distance to the estimate and
+/// accepts the approximate result when that relative distance is within
+/// the user's error bound.
+
+namespace spear {
+
+/// \brief z-value (standard normal deviate) for a two-sided confidence
+/// level `confidence` in (0, 1), e.g. 0.95 -> 1.959964.
+/// Computed with Acklam's inverse-normal-CDF approximation (|rel err| <
+/// 1.15e-9), so any confidence level works, not just tabulated ones.
+Result<double> NormalDeviate(double confidence);
+
+/// \brief Inverse standard normal CDF Phi^-1(p) for p in (0, 1).
+double InverseNormalCdf(double p);
+
+/// \brief A two-sided confidence interval around an estimate.
+struct ConfidenceInterval {
+  double estimate = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+
+  double HalfWidth() const { return (high - low) / 2.0; }
+
+  /// Half-width relative to |estimate|; +inf when the estimate is 0 and
+  /// the interval is not degenerate (forces the conservative fallback).
+  double RelativeHalfWidth() const;
+};
+
+/// \brief CI for a sample mean.
+///
+/// \param sample_mean    mean of the n sampled values
+/// \param sample_stddev  sample standard deviation (divide by n-1)
+/// \param n              sample size (> 0)
+/// \param population     window size N (>= n); enables the finite-population
+///                       correction sqrt(1 - n/N)
+/// \param confidence     two-sided level in (0, 1)
+Result<ConfidenceInterval> MeanConfidenceInterval(double sample_mean,
+                                                  double sample_stddev,
+                                                  std::uint64_t n,
+                                                  std::uint64_t population,
+                                                  double confidence);
+
+/// \brief CI for a population *sum* estimated as N * sample_mean (scales
+/// the mean CI by N). Used by scalar SUM/COUNT estimators.
+Result<ConfidenceInterval> SumConfidenceInterval(double sample_mean,
+                                                 double sample_stddev,
+                                                 std::uint64_t n,
+                                                 std::uint64_t population,
+                                                 double confidence);
+
+}  // namespace spear

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file congress.h
+/// Basic congressional sampling allocation (Acharya, Gibbons et al.,
+/// "Congressional samples for approximate answering of group-by queries",
+/// SIGMOD 2000 — the paper's [59]). Given per-group frequencies and a
+/// total sample budget, congress blends:
+///   * the House: allocation proportional to group size (good for overall
+///     aggregates), and
+///   * the Senate: equal allocation per group (good for small groups),
+/// by taking the per-group max of the two and renormalising to the budget.
+
+namespace spear {
+
+/// \brief One group's share of the stratified sample.
+struct GroupAllocation {
+  std::string key;
+  std::uint64_t frequency = 0;   ///< group size N_g in the window
+  std::uint64_t sample_size = 0; ///< allocated n_g (<= frequency)
+};
+
+/// \brief Computes basic-congress sample sizes.
+///
+/// \param frequencies per-group window frequencies (all > 0)
+/// \param budget      total sample budget in elements (> 0)
+/// \returns one allocation per group; sum of sample_size <= budget (up to
+///          rounding) and every group receives at least 1 element whenever
+///          budget >= number of groups.
+Result<std::vector<GroupAllocation>> CongressAllocate(
+    const std::unordered_map<std::string, std::uint64_t>& frequencies,
+    std::uint64_t budget);
+
+/// \brief Proportional-only (House) allocation, used as an ablation
+/// baseline: starves small groups, which basic congress fixes.
+Result<std::vector<GroupAllocation>> ProportionalAllocate(
+    const std::unordered_map<std::string, std::uint64_t>& frequencies,
+    std::uint64_t budget);
+
+}  // namespace spear

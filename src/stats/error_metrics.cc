@@ -1,0 +1,38 @@
+#include "stats/error_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace spear {
+
+Result<double> AggregateGroupErrors(const std::vector<double>& group_errors,
+                                    GroupErrorNorm norm) {
+  if (group_errors.empty()) {
+    return Status::Invalid("no group errors to aggregate");
+  }
+  switch (norm) {
+    case GroupErrorNorm::kL1: {
+      double sum = 0.0;
+      for (double e : group_errors) sum += e;
+      return sum / static_cast<double>(group_errors.size());
+    }
+    case GroupErrorNorm::kL2: {
+      double sum_sq = 0.0;
+      for (double e : group_errors) sum_sq += e * e;
+      return std::sqrt(sum_sq / static_cast<double>(group_errors.size()));
+    }
+    case GroupErrorNorm::kLInf:
+      return *std::max_element(group_errors.begin(), group_errors.end());
+  }
+  return Status::Internal("unknown norm");
+}
+
+double RelativeError(double approx, double exact) {
+  if (exact == 0.0) {
+    return approx == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::fabs(approx - exact) / std::fabs(exact);
+}
+
+}  // namespace spear

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+
+/// \file error_metrics.h
+/// Aggregation of per-group error estimates into a single window error
+/// (Def. 3.1 of the congressional-samples paper [59], referenced by
+/// SPEAr's Sec. 4.2). SPEAr defaults to L1.
+
+namespace spear {
+
+enum class GroupErrorNorm { kL1, kL2, kLInf };
+
+/// \brief Combines per-group relative errors e_g into one value:
+/// L1 = mean, L2 = root-mean-square, LInf = max. Invalid on empty input.
+Result<double> AggregateGroupErrors(const std::vector<double>& group_errors,
+                                    GroupErrorNorm norm = GroupErrorNorm::kL1);
+
+/// \brief Relative error |approx - exact| / |exact|; when exact == 0,
+/// returns 0 if approx == 0 and +inf otherwise. The repo-wide definition
+/// used by estimators, tests, and the Fig. 11 bench.
+double RelativeError(double approx, double exact);
+
+}  // namespace spear

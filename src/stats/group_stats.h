@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "stats/running_stats.h"
+
+/// \file group_stats.h
+/// Per-group frequency + moment tracking for grouped stateful operations.
+/// This is what SPEAr stores in the budget b while a window is active
+/// (Sec. 4.1, Grouped): each group's frequency and the variance of the
+/// aggregated value — the inputs to congress allocation and to per-group
+/// accuracy estimation. Memory is bounded by a configurable group capacity;
+/// exceeding it makes SPEAr revert to exact processing.
+
+namespace spear {
+
+/// \brief Bounded map: group key -> running statistics of the aggregation
+/// value within the current window.
+class GroupStatsTracker {
+ public:
+  /// \param max_groups capacity ceiling derived from the budget b via
+  ///        floor(b / (r + 4 + f)) in the paper's notation; 0 = unlimited.
+  explicit GroupStatsTracker(std::size_t max_groups = 0)
+      : max_groups_(max_groups) {}
+
+  /// Records one observation for `key`. Returns false — leaving the
+  /// tracker in the overflowed state — when a *new* group would exceed
+  /// capacity; existing groups always update.
+  bool Update(const std::string& key, double value) {
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      if (overflowed_ ||
+          (max_groups_ != 0 && groups_.size() >= max_groups_)) {
+        overflowed_ = true;
+        return false;
+      }
+      it = groups_.emplace(key, RunningStats()).first;
+    }
+    it->second.Update(value);
+    ++total_count_;
+    return true;
+  }
+
+  /// True when the group cardinality exceeded the budget capacity at some
+  /// point in this window; SPEAr must then process exactly.
+  bool overflowed() const { return overflowed_; }
+
+  std::size_t num_groups() const { return groups_.size(); }
+  std::uint64_t total_count() const { return total_count_; }
+  std::size_t max_groups() const { return max_groups_; }
+
+  const std::unordered_map<std::string, RunningStats>& groups() const {
+    return groups_;
+  }
+
+  /// Frequency of one group (0 when absent).
+  std::uint64_t FrequencyOf(const std::string& key) const {
+    const auto it = groups_.find(key);
+    return it == groups_.end() ? 0 : it->second.count();
+  }
+
+  void Reset() {
+    groups_.clear();
+    total_count_ = 0;
+    overflowed_ = false;
+  }
+
+  /// Estimated bytes consumed, for budget accounting: per group the paper
+  /// charges r (key) + 4 (frequency) + f (variance accumulator) bytes.
+  std::size_t EstimatedBytes() const {
+    std::size_t total = 0;
+    for (const auto& [key, stats] : groups_) {
+      total += key.size() + 4 + sizeof(double);
+      (void)stats;
+    }
+    return total;
+  }
+
+ private:
+  const std::size_t max_groups_;
+  std::unordered_map<std::string, RunningStats> groups_;
+  std::uint64_t total_count_ = 0;
+  bool overflowed_ = false;
+};
+
+}  // namespace spear

@@ -1,0 +1,59 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spear {
+
+namespace {
+
+Status ValidateQuantileArgs(std::size_t n, double phi) {
+  if (n == 0) return Status::Invalid("quantile of empty input");
+  if (!(phi >= 0.0 && phi <= 1.0)) {
+    return Status::Invalid("phi must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> ExactQuantileInPlace(std::vector<double>* values, double phi) {
+  SPEAR_RETURN_NOT_OK(ValidateQuantileArgs(values->size(), phi));
+  const std::size_t n = values->size();
+  const double pos = phi * static_cast<double>(n - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  std::nth_element(values->begin(),
+                   values->begin() + static_cast<std::ptrdiff_t>(lo),
+                   values->end());
+  const double v_lo = (*values)[lo];
+  const double frac = pos - static_cast<double>(lo);
+  if (frac == 0.0 || lo + 1 >= n) return v_lo;
+  // The (lo+1)-th order statistic is the minimum of the suffix after
+  // nth_element partitioned around lo.
+  const double v_hi = *std::min_element(
+      values->begin() + static_cast<std::ptrdiff_t>(lo) + 1, values->end());
+  return v_lo + frac * (v_hi - v_lo);
+}
+
+Result<double> ExactQuantile(std::vector<double> values, double phi) {
+  return ExactQuantileInPlace(&values, phi);
+}
+
+Result<double> SortedQuantile(const std::vector<double>& sorted, double phi) {
+  SPEAR_RETURN_NOT_OK(ValidateQuantileArgs(sorted.size(), phi));
+  const std::size_t n = sorted.size();
+  const double pos = phi * static_cast<double>(n - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (frac == 0.0 || lo + 1 >= n) return sorted[lo];
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double RankOf(const std::vector<double>& sorted, double value) {
+  if (sorted.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), value);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
+}
+
+}  // namespace spear

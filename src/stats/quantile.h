@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file quantile.h
+/// Exact and sample-based quantile computation. Exact quantiles are the
+/// holistic operation SPEAr targets (Fig. 1's `.percentile(…, 0.95)`); the
+/// sample-based estimator is what the expedited path emits.
+
+namespace spear {
+
+/// \brief Exact phi-quantile of `values` by partial sort (nth_element).
+///
+/// Uses the "lower" empirical quantile definition: element at index
+/// floor(phi * (n-1)) of the sorted sequence, linearly interpolated.
+/// O(n) average time; mutates its by-value copy, not the caller's data.
+/// Returns Invalid for empty input or phi outside [0, 1].
+Result<double> ExactQuantile(std::vector<double> values, double phi);
+
+/// \brief In-place exact quantile: mutates `values` (partial sort). The
+/// zero-copy variant used by operators that own their buffer.
+Result<double> ExactQuantileInPlace(std::vector<double>* values, double phi);
+
+/// \brief Exact median (phi = 0.5).
+inline Result<double> ExactMedian(std::vector<double> values) {
+  return ExactQuantile(std::move(values), 0.5);
+}
+
+/// \brief phi-quantile of an *already sorted* sequence, interpolated.
+Result<double> SortedQuantile(const std::vector<double>& sorted, double phi);
+
+/// \brief Rank of `value` within `sorted` (fraction of elements <= value).
+/// Used by tests/benches to measure quantile *rank error*, the metric of
+/// Manku et al. [48].
+double RankOf(const std::vector<double>& sorted, double value);
+
+}  // namespace spear

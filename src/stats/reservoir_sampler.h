@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+/// \file reservoir_sampler.h
+/// Simple-random-sample maintenance inside a fixed budget, the `put/replace`
+/// pair of the paper's Alg. 1. Two strategies:
+///   * Algorithm R (Vitter): one RNG draw per tuple past the budget.
+///   * Algorithm L (Li, 1994): geometric skips — near-zero cost per tuple
+///     once the sample is much smaller than the window.
+/// Both yield a uniform simple random sample of everything Offered so far.
+
+namespace spear {
+
+enum class ReservoirAlgorithm { kAlgorithmR, kAlgorithmL };
+
+/// \brief Fixed-capacity uniform reservoir sample of a stream of T.
+template <typename T>
+class ReservoirSampler {
+ public:
+  /// \param capacity the sample budget (elements, > 0)
+  /// \param seed RNG seed (experiments pass explicit seeds)
+  /// \param algorithm replacement strategy; kAlgorithmL is the default and
+  ///        the fast path.
+  explicit ReservoirSampler(std::size_t capacity, std::uint64_t seed = 0x5EA4,
+                            ReservoirAlgorithm algorithm =
+                                ReservoirAlgorithm::kAlgorithmL)
+      : capacity_(capacity), rng_(seed), algorithm_(algorithm) {
+    SPEAR_CHECK(capacity_ > 0);
+    sample_.reserve(capacity_);
+    if (algorithm_ == ReservoirAlgorithm::kAlgorithmL) InitW();
+  }
+
+  /// Offers one element; keeps it with the reservoir-sampling probability.
+  void Offer(const T& item) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(item);
+      return;
+    }
+    if (algorithm_ == ReservoirAlgorithm::kAlgorithmR) {
+      const std::uint64_t j = rng_.NextBounded(seen_);
+      if (j < capacity_) sample_[j] = item;
+      return;
+    }
+    // Algorithm L: replace only when `seen_` crosses the precomputed skip.
+    if (seen_ >= next_replace_) {
+      sample_[rng_.NextBounded(capacity_)] = item;
+      AdvanceW();
+    }
+  }
+
+  /// Number of elements offered so far (the window size N).
+  std::uint64_t seen() const { return seen_; }
+
+  /// Current sample contents (size = min(seen, capacity)).
+  const std::vector<T>& sample() const { return sample_; }
+
+  std::size_t capacity() const { return capacity_; }
+
+  bool full() const { return sample_.size() == capacity_; }
+
+  /// Clears the sample for the next window.
+  void Reset() {
+    sample_.clear();
+    seen_ = 0;
+    if (algorithm_ == ReservoirAlgorithm::kAlgorithmL) InitW();
+  }
+
+ private:
+  void InitW() {
+    w_ = std::exp(std::log(rng_.NextDouble()) / static_cast<double>(capacity_));
+    next_replace_ = capacity_;
+    AdvanceSkip();
+  }
+
+  void AdvanceW() {
+    w_ *= std::exp(std::log(rng_.NextDouble()) / static_cast<double>(capacity_));
+    AdvanceSkip();
+  }
+
+  void AdvanceSkip() {
+    double skip =
+        std::floor(std::log(rng_.NextDouble()) / std::log(1.0 - w_));
+    if (!(skip >= 0.0)) skip = 0.0;  // guards NaN/-inf from degenerate draws
+    next_replace_ += static_cast<std::uint64_t>(skip) + 1;
+  }
+
+  const std::size_t capacity_;
+  Rng rng_;
+  const ReservoirAlgorithm algorithm_;
+  std::vector<T> sample_;
+  std::uint64_t seen_ = 0;
+  // Algorithm L state.
+  double w_ = 0.0;
+  std::uint64_t next_replace_ = 0;
+};
+
+}  // namespace spear

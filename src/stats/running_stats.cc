@@ -1,0 +1,19 @@
+#include "stats/running_stats.h"
+
+#include <cmath>
+
+namespace spear {
+
+double RunningStats::SampleStdDev() const { return std::sqrt(SampleVariance()); }
+
+double RunningStats::PopulationStdDev() const {
+  return std::sqrt(PopulationVariance());
+}
+
+double RunningStats::ExcessKurtosis() const {
+  if (count_ < 2 || m2_ == 0.0) return 0.0;
+  const double n = static_cast<double>(count_);
+  return n * m4_ / (m2_ * m2_) - 3.0;
+}
+
+}  // namespace spear

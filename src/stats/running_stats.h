@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file running_stats.h
+/// Constant-space single-pass moments (Welford / Chan et al. / Pébay).
+/// SPEAr maintains one of these per window (scalar ops) or per group
+/// (grouped ops): count, mean, variance, skewness/kurtosis inputs, min,
+/// max — everything the accuracy estimator (Sec. 4.2 of the paper) needs,
+/// updated in O(1) per tuple.
+
+namespace spear {
+
+/// \brief Mergeable running count/mean/central-moments/min/max.
+class RunningStats {
+ public:
+  /// Incorporates one observation. O(1), no allocation.
+  void Update(double x) {
+    const double n1 = static_cast<double>(count_);
+    ++count_;
+    const double n = static_cast<double>(count_);
+    const double delta = x - mean_;
+    const double delta_n = delta / n;
+    const double delta_n2 = delta_n * delta_n;
+    const double term1 = delta * delta_n * n1;
+    mean_ += delta_n;
+    m4_ += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * m2_ -
+           4.0 * delta_n * m3_;
+    m3_ += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * m2_;
+    m2_ += term1;
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  /// Merges another accumulator (Pébay's pairwise update). Enables
+  /// partition-parallel statistics in the runtime.
+  void Merge(const RunningStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double n = n1 + n2;
+    const double delta = other.mean_ - mean_;
+    const double delta2 = delta * delta;
+    const double delta3 = delta2 * delta;
+    const double delta4 = delta2 * delta2;
+
+    const double new_m2 = m2_ + other.m2_ + delta2 * n1 * n2 / n;
+    const double new_m3 = m3_ + other.m3_ +
+                          delta3 * n1 * n2 * (n1 - n2) / (n * n) +
+                          3.0 * delta * (n1 * other.m2_ - n2 * m2_) / n;
+    const double new_m4 =
+        m4_ + other.m4_ +
+        delta4 * n1 * n2 * (n1 * n1 - n1 * n2 + n2 * n2) / (n * n * n) +
+        6.0 * delta2 * (n1 * n1 * other.m2_ + n2 * n2 * m2_) / (n * n) +
+        4.0 * delta * (n1 * other.m3_ - n2 * m3_) / n;
+
+    mean_ += delta * n2 / n;
+    m2_ = new_m2;
+    m3_ = new_m3;
+    m4_ = new_m4;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+  void Reset() { *this = RunningStats(); }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+  /// Population variance (divide by n). 0 for fewer than 1 observation.
+  double PopulationVariance() const {
+    return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Sample variance (divide by n-1). 0 for fewer than 2 observations.
+  double SampleVariance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+
+  double SampleStdDev() const;
+  double PopulationStdDev() const;
+
+  /// Fourth central moment (mu_4 estimate, divide by n).
+  double FourthCentralMoment() const {
+    return count_ > 0 ? m4_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Excess kurtosis (0 for a normal distribution); 0 when undefined.
+  double ExcessKurtosis() const;
+
+  double min() const {
+    return count_ > 0 ? min_ : 0.0;
+  }
+  double max() const {
+    return count_ > 0 ? max_ : 0.0;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double m3_ = 0.0;
+  double m4_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace spear

@@ -1,0 +1,78 @@
+#include "stats/sample_size.h"
+
+#include <cmath>
+
+#include "stats/confidence.h"
+
+namespace spear {
+
+namespace {
+
+Status ValidateCommon(double epsilon, double confidence) {
+  if (!(epsilon > 0.0 && epsilon < 1.0)) {
+    return Status::Invalid("epsilon must be in (0, 1)");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::Invalid("confidence must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::uint64_t> RequiredQuantileSampleSize(double phi, double epsilon,
+                                                 double confidence,
+                                                 QuantileBound bound) {
+  SPEAR_RETURN_NOT_OK(ValidateCommon(epsilon, confidence));
+  if (!(phi >= 0.0 && phi <= 1.0)) {
+    return Status::Invalid("phi must be in [0, 1]");
+  }
+  double n = 0.0;
+  switch (bound) {
+    case QuantileBound::kHoeffding: {
+      const double delta = 1.0 - confidence;
+      n = std::log(2.0 / delta) / (2.0 * epsilon * epsilon);
+      break;
+    }
+    case QuantileBound::kNormalRank: {
+      SPEAR_ASSIGN_OR_RETURN(const double z, NormalDeviate(confidence));
+      // Guard degenerate phi: variance phi(1-phi) is 0 at the extremes but
+      // a 0-size sample is useless; floor the variance at a single rank.
+      const double var = std::max(phi * (1.0 - phi), 1e-6);
+      n = z * z * var / (epsilon * epsilon);
+      break;
+    }
+  }
+  return static_cast<std::uint64_t>(std::ceil(n));
+}
+
+Result<std::uint64_t> RequiredQuantileSampleSizeFinite(
+    double phi, double epsilon, double confidence, std::uint64_t population,
+    QuantileBound bound) {
+  SPEAR_ASSIGN_OR_RETURN(
+      const std::uint64_t n0,
+      RequiredQuantileSampleSize(phi, epsilon, confidence, bound));
+  if (population == 0) return Status::Invalid("population must be > 0");
+  const double n0d = static_cast<double>(n0);
+  const double adj =
+      n0d / (1.0 + (n0d - 1.0) / static_cast<double>(population));
+  auto n_adj = static_cast<std::uint64_t>(std::ceil(adj));
+  return n_adj < population ? n_adj : population;
+}
+
+Result<std::uint64_t> RequiredMeanSampleSize(double cv, double epsilon,
+                                             double confidence,
+                                             std::uint64_t population) {
+  SPEAR_RETURN_NOT_OK(ValidateCommon(epsilon, confidence));
+  if (cv < 0.0) return Status::Invalid("cv must be >= 0");
+  if (population == 0) return Status::Invalid("population must be > 0");
+  SPEAR_ASSIGN_OR_RETURN(const double z, NormalDeviate(confidence));
+  const double n0 = (z * cv / epsilon) * (z * cv / epsilon);
+  const double adj = n0 / (1.0 + (n0 - 1.0) / static_cast<double>(population));
+  double n = std::ceil(adj);
+  if (n < 1.0) n = 1.0;
+  auto out = static_cast<std::uint64_t>(n);
+  return out < population ? out : population;
+}
+
+}  // namespace spear

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/result.h"
+
+/// \file sample_size.h
+/// Required-sample-size bounds for quantile approximation, the budget test
+/// the paper borrows from Manku et al. [48] ("Approximate medians and other
+/// quantiles in one pass and with limited memory", SIGMOD '98): SPEAr
+/// compares the allocated budget b against the sample size an approximate
+/// quantile needs to meet a rank-error epsilon at confidence alpha, and
+/// expedites the window only when b is large enough.
+
+namespace spear {
+
+/// Which bound drives the quantile budget test.
+enum class QuantileBound {
+  /// Distribution-free Hoeffding bound: n >= ln(2/delta) / (2 eps^2).
+  kHoeffding,
+  /// Normal-approximation rank bound: n >= z^2 phi(1-phi) / eps^2 —
+  /// tighter, especially for extreme phi.
+  kNormalRank,
+};
+
+/// \brief Minimum sample size for a phi-quantile estimate whose *rank*
+/// error is at most `epsilon` with probability `confidence`.
+///
+/// \param phi        target quantile in [0, 1]
+/// \param epsilon    maximum rank error in (0, 1)
+/// \param confidence two-sided confidence level in (0, 1)
+/// \param bound      which inequality to apply
+Result<std::uint64_t> RequiredQuantileSampleSize(
+    double phi, double epsilon, double confidence,
+    QuantileBound bound = QuantileBound::kHoeffding);
+
+/// \brief Finite-population version: sampling n out of N without
+/// replacement needs fewer elements. Applies the standard correction
+///     n_adj = n0 / (1 + (n0 - 1) / N).
+Result<std::uint64_t> RequiredQuantileSampleSizeFinite(
+    double phi, double epsilon, double confidence, std::uint64_t population,
+    QuantileBound bound = QuantileBound::kHoeffding);
+
+/// \brief Minimum sample size so a *mean* estimate's relative CI half-width
+/// is <= epsilon, given a coefficient of variation cv = s / |mean| and
+/// population N (Cochran's formula with finite-population correction).
+/// Used by benches to pick interesting budgets.
+Result<std::uint64_t> RequiredMeanSampleSize(double cv, double epsilon,
+                                             double confidence,
+                                             std::uint64_t population);
+
+}  // namespace spear

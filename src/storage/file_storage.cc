@@ -1,0 +1,111 @@
+#include "storage/file_storage.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "tuple/serde.h"
+
+namespace spear {
+
+namespace fs = std::filesystem;
+
+Result<FileSecondaryStorage> FileSecondaryStorage::Open(
+    const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create spill directory '" + directory +
+                           "': " + ec.message());
+  }
+  return FileSecondaryStorage(directory);
+}
+
+fs::path FileSecondaryStorage::PathFor(const std::string& key) const {
+  // Keys may contain '/'; flatten them so every run is a single file.
+  std::string name;
+  name.reserve(key.size());
+  for (char c : key) name += (c == '/' || c == '\\') ? '_' : c;
+  return fs::path(directory_) / (name + ".run");
+}
+
+Status FileSecondaryStorage::Store(const std::string& key,
+                                   const Tuple& tuple) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  std::ofstream out(PathFor(key), std::ios::binary | std::ios::app);
+  if (!out) return Status::IOError("cannot open run file for '" + key + "'");
+  std::string encoded;
+  EncodeTuple(tuple, &encoded);
+  out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+  if (!out) return Status::IOError("short write to run '" + key + "'");
+  ++counts_[key];
+  return Status::OK();
+}
+
+Status FileSecondaryStorage::StoreBatch(const std::string& key,
+                                        const std::vector<Tuple>& tuples) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  std::ofstream out(PathFor(key), std::ios::binary | std::ios::app);
+  if (!out) return Status::IOError("cannot open run file for '" + key + "'");
+  std::string encoded;
+  for (const Tuple& t : tuples) EncodeTuple(t, &encoded);
+  out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+  if (!out) return Status::IOError("short write to run '" + key + "'");
+  counts_[key] += tuples.size();
+  return Status::OK();
+}
+
+Result<std::vector<Tuple>> FileSecondaryStorage::Get(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  const auto it = counts_.find(key);
+  if (it == counts_.end() || it->second == 0) {
+    return Status::NotFound("no spilled run under key '" + key + "'");
+  }
+  std::ifstream in(PathFor(key), std::ios::binary);
+  if (!in) return Status::IOError("cannot read run '" + key + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string data = buffer.str();
+
+  std::vector<Tuple> out;
+  out.reserve(it->second);
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    SPEAR_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(data, &offset));
+    out.push_back(std::move(t));
+  }
+  if (out.size() != it->second) {
+    return Status::Internal("run '" + key + "' holds " +
+                            std::to_string(out.size()) + " tuples, expected " +
+                            std::to_string(it->second));
+  }
+  return out;
+}
+
+Status FileSecondaryStorage::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  std::error_code ec;
+  fs::remove(PathFor(key), ec);
+  counts_.erase(key);
+  if (ec) return Status::IOError("cannot erase run '" + key + "'");
+  return Status::OK();
+}
+
+std::size_t FileSecondaryStorage::CountFor(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+Result<std::uintmax_t> FileSecondaryStorage::DiskBytes() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  std::uintmax_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (entry.is_regular_file()) total += entry.file_size(ec);
+  }
+  if (ec) return Status::IOError("cannot stat spill directory");
+  return total;
+}
+
+}  // namespace spear

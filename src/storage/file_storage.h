@@ -1,0 +1,62 @@
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "tuple/tuple.h"
+
+/// \file file_storage.h
+/// A durable implementation of the secondary-storage interface: spilled
+/// runs are serialized (tuple/serde.h) into one file per key under a
+/// spill directory. Used when the simulated in-memory S (latency model)
+/// is not enough — e.g. when spilled state must survive the process, or
+/// genuinely exceed RAM.
+
+namespace spear {
+
+/// \brief File-per-key spill store with the same store/get/erase contract
+/// as SecondaryStorage. Thread-safe.
+class FileSecondaryStorage {
+ public:
+  /// \param directory spill root; created if absent.
+  static Result<FileSecondaryStorage> Open(const std::string& directory);
+
+  /// Appends one tuple to `key`'s run file.
+  Status Store(const std::string& key, const Tuple& tuple);
+
+  /// Appends a batch to `key`'s run file.
+  Status StoreBatch(const std::string& key, const std::vector<Tuple>& tuples);
+
+  /// Reads back every tuple stored under `key`. NotFound when absent.
+  Result<std::vector<Tuple>> Get(const std::string& key) const;
+
+  /// Deletes `key`'s run file (idempotent).
+  Status Erase(const std::string& key);
+
+  /// Number of tuples under `key` (0 when absent). O(1): counts are
+  /// tracked in memory.
+  std::size_t CountFor(const std::string& key) const;
+
+  /// Total bytes on disk across all runs.
+  Result<std::uintmax_t> DiskBytes() const;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  explicit FileSecondaryStorage(std::string directory)
+      : directory_(std::move(directory)),
+        mutex_(std::make_unique<std::mutex>()) {}
+
+  std::filesystem::path PathFor(const std::string& key) const;
+
+  std::string directory_;
+  // unique_ptr keeps the type movable (Result<T> requires it).
+  mutable std::unique_ptr<std::mutex> mutex_;
+  std::unordered_map<std::string, std::size_t> counts_;
+};
+
+}  // namespace spear

@@ -1,0 +1,76 @@
+#include "storage/secondary_storage.h"
+
+#include <chrono>
+
+#include "common/time.h"
+
+namespace spear {
+
+void SecondaryStorage::SimulateLatency(std::size_t tuple_count) const {
+  const std::int64_t target =
+      latency_.per_call_ns +
+      latency_.per_tuple_ns * static_cast<std::int64_t>(tuple_count);
+  if (target <= 0) return;
+  const std::int64_t start = NowNs();
+  // Busy-wait: the cost must land on the calling worker's critical path,
+  // exactly as a synchronous remote fetch would.
+  while (NowNs() - start < target) {
+  }
+}
+
+void SecondaryStorage::Store(const std::string& key, Tuple tuple) {
+  SimulateLatency(1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++store_calls_;
+  runs_[key].push_back(std::move(tuple));
+}
+
+void SecondaryStorage::StoreBatch(const std::string& key,
+                                  std::vector<Tuple> tuples) {
+  SimulateLatency(tuples.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++store_calls_;
+  auto& run = runs_[key];
+  run.insert(run.end(), std::make_move_iterator(tuples.begin()),
+             std::make_move_iterator(tuples.end()));
+}
+
+Result<std::vector<Tuple>> SecondaryStorage::Get(const std::string& key) const {
+  std::size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++get_calls_;
+    const auto it = runs_.find(key);
+    if (it == runs_.end()) {
+      return Status::NotFound("no spilled run under key '" + key + "'");
+    }
+    count = it->second.size();
+  }
+  SimulateLatency(count);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = runs_.find(key);
+  if (it == runs_.end()) {
+    return Status::NotFound("run under key '" + key + "' erased concurrently");
+  }
+  return it->second;
+}
+
+void SecondaryStorage::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  runs_.erase(key);
+}
+
+std::size_t SecondaryStorage::CountFor(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = runs_.find(key);
+  return it == runs_.end() ? 0 : it->second.size();
+}
+
+std::size_t SecondaryStorage::TotalTuples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [key, run] : runs_) total += run.size();
+  return total;
+}
+
+}  // namespace spear

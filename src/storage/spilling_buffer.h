@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/secondary_storage.h"
+#include "tuple/tuple.h"
+
+/// \file spilling_buffer.h
+/// A worker's in-memory tuple buffer bounded by its memory budget; tuples
+/// beyond the budget spill to SecondaryStorage (Sec. 2: "If at any point
+/// prior to receipt of a watermark, all of a worker's memory budget b is
+/// used, then the worker spills consequent tuples to S").
+
+namespace spear {
+
+/// \brief Budget-bounded buffer over (memory, S).
+class SpillingBuffer {
+ public:
+  /// \param memory_capacity max tuples held in memory (0 = unlimited)
+  /// \param storage         spill target; may be null iff memory_capacity
+  ///                        is 0 (unlimited)
+  /// \param spill_key       key identifying this buffer's runs in S
+  SpillingBuffer(std::size_t memory_capacity, SecondaryStorage* storage,
+                 std::string spill_key)
+      : memory_capacity_(memory_capacity),
+        storage_(storage),
+        spill_key_(std::move(spill_key)) {}
+
+  /// Appends one tuple, spilling when past the budget.
+  void Append(Tuple tuple) {
+    if (memory_capacity_ == 0 || memory_.size() < memory_capacity_) {
+      memory_.push_back(std::move(tuple));
+      return;
+    }
+    SPEAR_CHECK(storage_ != nullptr);
+    storage_->Store(spill_key_, std::move(tuple));
+    ++spilled_;
+  }
+
+  /// All buffered tuples, memory-resident first then the spilled run
+  /// (fetched from S, paying its latency).
+  Result<std::vector<Tuple>> Materialize() const {
+    std::vector<Tuple> out = memory_;
+    if (spilled_ > 0) {
+      SPEAR_ASSIGN_OR_RETURN(std::vector<Tuple> rest,
+                             storage_->Get(spill_key_));
+      out.insert(out.end(), std::make_move_iterator(rest.begin()),
+                 std::make_move_iterator(rest.end()));
+    }
+    return out;
+  }
+
+  /// In-memory portion only, zero cost (used for scans that tolerate
+  /// processing memory and spill separately).
+  const std::vector<Tuple>& memory_resident() const { return memory_; }
+
+  std::size_t size() const { return memory_.size() + spilled_; }
+  std::size_t memory_size() const { return memory_.size(); }
+  std::size_t spilled_size() const { return spilled_; }
+  bool HasSpilled() const { return spilled_ > 0; }
+
+  /// Approximate resident memory in bytes (Fig. 7 accounting).
+  std::size_t MemoryBytes() const {
+    std::size_t total = 0;
+    for (const auto& t : memory_) total += t.ByteSize();
+    return total;
+  }
+
+  void Clear() {
+    memory_.clear();
+    if (spilled_ > 0) storage_->Erase(spill_key_);
+    spilled_ = 0;
+  }
+
+ private:
+  const std::size_t memory_capacity_;
+  SecondaryStorage* storage_;
+  const std::string spill_key_;
+  std::vector<Tuple> memory_;
+  std::size_t spilled_ = 0;
+};
+
+}  // namespace spear

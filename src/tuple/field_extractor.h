@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "tuple/tuple.h"
+
+/// \file field_extractor.h
+/// Small callable adapters that pull a numeric aggregation value or a group
+/// key out of a Tuple. The CQ API in the paper (Fig. 1/5) writes these as
+/// lambdas (`x -> x.fare`); here they are index-bound extractors so the hot
+/// path avoids name lookups.
+
+namespace spear {
+
+/// Extracts the numeric value an aggregate operates on.
+using ValueExtractor = std::function<double(const Tuple&)>;
+
+/// Extracts the group key for grouped (group-by) operations.
+using KeyExtractor = std::function<std::string(const Tuple&)>;
+
+/// Returns an extractor reading field `index` as a numeric.
+inline ValueExtractor NumericField(std::size_t index) {
+  return [index](const Tuple& t) { return t.field(index).AsNumeric(); };
+}
+
+/// Returns a key extractor reading field `index`, stringified.
+inline KeyExtractor KeyField(std::size_t index) {
+  return [index](const Tuple& t) {
+    const Value& v = t.field(index);
+    return v.is_string() ? v.AsString() : v.ToString();
+  };
+}
+
+/// Integer group keys avoid string conversions on known-integer columns.
+using IntKeyExtractor = std::function<std::int64_t(const Tuple&)>;
+
+inline IntKeyExtractor IntKeyField(std::size_t index) {
+  return [index](const Tuple& t) { return t.field(index).AsInt64(); };
+}
+
+}  // namespace spear

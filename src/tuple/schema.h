@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// \file schema.h
+/// Field name → position mapping for a stream. Operators resolve names to
+/// indices once at topology-build time and use indices at runtime.
+
+namespace spear {
+
+/// \brief Ordered list of named fields describing the tuples on a stream.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> field_names)
+      : field_names_(std::move(field_names)) {}
+
+  std::size_t num_fields() const { return field_names_.size(); }
+  const std::string& field_name(std::size_t i) const { return field_names_[i]; }
+  const std::vector<std::string>& field_names() const { return field_names_; }
+
+  /// Resolves a field name to its position; NotFound when absent.
+  Result<std::size_t> FieldIndex(const std::string& name) const {
+    for (std::size_t i = 0; i < field_names_.size(); ++i) {
+      if (field_names_[i] == name) return i;
+    }
+    return Status::NotFound("no field named '" + name + "'");
+  }
+
+  bool HasField(const std::string& name) const {
+    return FieldIndex(name).ok();
+  }
+
+  bool operator==(const Schema& other) const {
+    return field_names_ == other.field_names_;
+  }
+
+ private:
+  std::vector<std::string> field_names_;
+};
+
+}  // namespace spear

@@ -1,0 +1,116 @@
+#include "tuple/serde.h"
+
+#include <cstring>
+
+namespace spear {
+
+namespace {
+
+template <typename T>
+void AppendRaw(T value, std::string* out) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+Result<T> ReadRaw(const std::string& data, std::size_t* offset) {
+  if (*offset + sizeof(T) > data.size()) {
+    return Status::Invalid("truncated input");
+  }
+  T value;
+  std::memcpy(&value, data.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+void EncodeTuple(const Tuple& tuple, std::string* out) {
+  AppendRaw<std::int64_t>(tuple.event_time(), out);
+  AppendRaw<std::uint32_t>(static_cast<std::uint32_t>(tuple.num_fields()),
+                           out);
+  for (std::size_t i = 0; i < tuple.num_fields(); ++i) {
+    const Value& v = tuple.field(i);
+    AppendRaw<std::uint8_t>(static_cast<std::uint8_t>(v.type()), out);
+    switch (v.type()) {
+      case ValueType::kInt64:
+        AppendRaw<std::int64_t>(v.AsInt64(), out);
+        break;
+      case ValueType::kDouble:
+        AppendRaw<double>(v.AsDouble(), out);
+        break;
+      case ValueType::kString: {
+        const std::string& s = v.AsString();
+        AppendRaw<std::uint32_t>(static_cast<std::uint32_t>(s.size()), out);
+        out->append(s);
+        break;
+      }
+    }
+  }
+}
+
+Result<Tuple> DecodeTuple(const std::string& data, std::size_t* offset) {
+  SPEAR_ASSIGN_OR_RETURN(const std::int64_t event_time,
+                         ReadRaw<std::int64_t>(data, offset));
+  SPEAR_ASSIGN_OR_RETURN(const std::uint32_t field_count,
+                         ReadRaw<std::uint32_t>(data, offset));
+  std::vector<Value> fields;
+  fields.reserve(field_count);
+  for (std::uint32_t i = 0; i < field_count; ++i) {
+    SPEAR_ASSIGN_OR_RETURN(const std::uint8_t type,
+                           ReadRaw<std::uint8_t>(data, offset));
+    switch (static_cast<ValueType>(type)) {
+      case ValueType::kInt64: {
+        SPEAR_ASSIGN_OR_RETURN(const std::int64_t v,
+                               ReadRaw<std::int64_t>(data, offset));
+        fields.emplace_back(v);
+        break;
+      }
+      case ValueType::kDouble: {
+        SPEAR_ASSIGN_OR_RETURN(const double v, ReadRaw<double>(data, offset));
+        fields.emplace_back(v);
+        break;
+      }
+      case ValueType::kString: {
+        SPEAR_ASSIGN_OR_RETURN(const std::uint32_t len,
+                               ReadRaw<std::uint32_t>(data, offset));
+        if (*offset + len > data.size()) {
+          return Status::Invalid("truncated string payload");
+        }
+        fields.emplace_back(std::string(data.data() + *offset, len));
+        *offset += len;
+        break;
+      }
+      default:
+        return Status::Invalid("unknown value type tag " +
+                               std::to_string(type));
+    }
+  }
+  return Tuple(event_time, std::move(fields));
+}
+
+std::string EncodeBatch(const std::vector<Tuple>& tuples) {
+  std::string out;
+  AppendRaw<std::uint32_t>(static_cast<std::uint32_t>(tuples.size()), &out);
+  for (const Tuple& t : tuples) EncodeTuple(t, &out);
+  return out;
+}
+
+Result<std::vector<Tuple>> DecodeBatch(const std::string& data) {
+  std::size_t offset = 0;
+  SPEAR_ASSIGN_OR_RETURN(const std::uint32_t count,
+                         ReadRaw<std::uint32_t>(data, &offset));
+  std::vector<Tuple> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SPEAR_ASSIGN_OR_RETURN(Tuple t, DecodeTuple(data, &offset));
+    out.push_back(std::move(t));
+  }
+  if (offset != data.size()) {
+    return Status::Invalid("trailing bytes after batch");
+  }
+  return out;
+}
+
+}  // namespace spear

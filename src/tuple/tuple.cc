@@ -1,0 +1,15 @@
+#include "tuple/tuple.h"
+
+namespace spear {
+
+std::string Tuple::ToString() const {
+  std::string out = "{t=" + std::to_string(event_time_);
+  for (const auto& f : fields_) {
+    out += ", ";
+    out += f.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace spear

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "tuple/value.h"
+
+/// \file tuple.h
+/// The unit of data flowing through a topology: an event timestamp plus a
+/// flat vector of field values. Field positions are resolved through the
+/// stream's Schema (see schema.h); the Tuple itself stores no names.
+
+namespace spear {
+
+/// \brief One stream element.
+class Tuple {
+ public:
+  Tuple() = default;
+
+  Tuple(Timestamp event_time, std::vector<Value> fields)
+      : event_time_(event_time), fields_(std::move(fields)) {}
+
+  Tuple(Timestamp event_time, std::initializer_list<Value> fields)
+      : event_time_(event_time), fields_(fields) {}
+
+  Timestamp event_time() const { return event_time_; }
+  void set_event_time(Timestamp t) { event_time_ = t; }
+
+  std::size_t num_fields() const { return fields_.size(); }
+
+  const Value& field(std::size_t i) const {
+    SPEAR_DCHECK(i < fields_.size());
+    return fields_[i];
+  }
+  Value& field(std::size_t i) {
+    SPEAR_DCHECK(i < fields_.size());
+    return fields_[i];
+  }
+
+  const std::vector<Value>& fields() const { return fields_; }
+
+  /// Appends a field (used by the spill path to piggyback metadata).
+  void AppendField(Value v) { fields_.push_back(std::move(v)); }
+
+  /// Removes and returns the last field. Requires num_fields() > 0.
+  Value PopField() {
+    SPEAR_DCHECK(!fields_.empty());
+    Value v = std::move(fields_.back());
+    fields_.pop_back();
+    return v;
+  }
+
+  /// Approximate in-memory footprint (drives byte-denominated budgets and
+  /// the Fig. 7 memory accounting).
+  std::size_t ByteSize() const {
+    std::size_t total = sizeof(Tuple);
+    for (const auto& f : fields_) total += f.ByteSize();
+    return total;
+  }
+
+  bool operator==(const Tuple& other) const {
+    return event_time_ == other.event_time_ && fields_ == other.fields_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  Timestamp event_time_ = 0;
+  std::vector<Value> fields_;
+};
+
+}  // namespace spear

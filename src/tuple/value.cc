@@ -1,0 +1,22 @@
+#include "tuple/value.h"
+
+#include <cstdio>
+
+namespace spear {
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", AsDouble());
+      return buf;
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+}  // namespace spear

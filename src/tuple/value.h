@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/logging.h"
+
+/// \file value.h
+/// Dynamically-typed field value carried by stream tuples. Kept small (one
+/// variant over int64/double/string) because tuple construction sits on the
+/// engine's per-tuple hot path.
+
+namespace spear {
+
+enum class ValueType : std::uint8_t { kInt64 = 0, kDouble = 1, kString = 2 };
+
+/// \brief One field of a Tuple.
+class Value {
+ public:
+  Value() : data_(std::int64_t{0}) {}
+  Value(std::int64_t v) : data_(v) {}          // NOLINT(runtime/explicit)
+  Value(std::int32_t v)                        // NOLINT(runtime/explicit)
+      : data_(static_cast<std::int64_t>(v)) {}
+  Value(double v) : data_(v) {}                // NOLINT(runtime/explicit)
+  Value(std::string v) : data_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : data_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  ValueType type() const { return static_cast<ValueType>(data_.index()); }
+
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_double() const { return type() == ValueType::kDouble; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  std::int64_t AsInt64() const {
+    SPEAR_DCHECK(is_int64());
+    return std::get<std::int64_t>(data_);
+  }
+  double AsDouble() const {
+    SPEAR_DCHECK(is_double());
+    return std::get<double>(data_);
+  }
+  const std::string& AsString() const {
+    SPEAR_DCHECK(is_string());
+    return std::get<std::string>(data_);
+  }
+
+  /// Numeric coercion: int64 and double both convert; strings are an error
+  /// caught by SPEAR_CHECK.
+  double AsNumeric() const {
+    if (is_int64()) return static_cast<double>(AsInt64());
+    SPEAR_CHECK(is_double());
+    return AsDouble();
+  }
+
+  /// Approximate in-memory footprint, used for byte-denominated budgets.
+  std::size_t ByteSize() const {
+    if (is_string()) return sizeof(Value) + AsString().capacity();
+    return sizeof(Value);
+  }
+
+  bool operator==(const Value& other) const { return data_ == other.data_; }
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::int64_t, double, std::string> data_;
+};
+
+}  // namespace spear

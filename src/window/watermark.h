@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+/// \file watermark.h
+/// Watermark generation. The paper's watermarks are control tuples
+/// carrying a timestamp T_W whose receipt guarantees all tuples with
+/// t <= T_W have been observed (Sec. 2). This repo uses the equivalent
+/// *exclusive* convention throughout: a watermark W promises every
+/// subsequent tuple has coordinate >= W (i.e. W = T_W + 1). Window
+/// managers therefore treat a window [s, e) as complete when e <= W, and
+/// a tuple as late when its coordinate is < W.
+
+namespace spear {
+
+/// \brief Periodic watermark generator with bounded out-of-orderness.
+///
+/// Emits a watermark every `interval` of observed event time, lagging the
+/// maximum observed timestamp by `max_lateness` (Flink's
+/// BoundedOutOfOrdernessWatermarks).
+class WatermarkGenerator {
+ public:
+  explicit WatermarkGenerator(DurationMs interval, DurationMs max_lateness = 0)
+      : interval_(interval), max_lateness_(max_lateness) {}
+
+  /// Observes a tuple timestamp; returns true when a new watermark should
+  /// be emitted (fetch it with current()).
+  bool Observe(Timestamp t) {
+    if (t > max_seen_) max_seen_ = t;
+    // Exclusive watermark: everything below `candidate` has been seen,
+    // assuming out-of-orderness bounded by max_lateness. The bound must
+    // not include max_seen_ itself: further tuples may carry the same
+    // timestamp (multiple events in one millisecond).
+    const Timestamp candidate = max_seen_ - max_lateness_;
+    if (candidate >= next_emit_) {
+      current_ = candidate;
+      next_emit_ = candidate + interval_;
+      return true;
+    }
+    return false;
+  }
+
+  /// Latest watermark value (kMinTimestamp before the first emission).
+  Timestamp current() const { return current_; }
+
+  /// Final watermark for end-of-stream: releases every buffered window.
+  static Timestamp FinalWatermark() { return kMaxTimestamp; }
+
+ private:
+  const DurationMs interval_;
+  const DurationMs max_lateness_;
+  Timestamp max_seen_ = kMinTimestamp;
+  Timestamp next_emit_ = kMinTimestamp + 1;
+  Timestamp current_ = kMinTimestamp;
+};
+
+}  // namespace spear

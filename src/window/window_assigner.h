@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "window/window_spec.h"
+
+/// \file window_assigner.h
+/// Maps a tuple coordinate to the window(s) it participates in. Windows are
+/// aligned so starts are integral multiples of the slide (the convention in
+/// Storm/Flink); negative coordinates are supported.
+
+namespace spear {
+
+/// \brief All windows [s, s+range) with s = k*slide containing `coord`.
+/// Returned in ascending start order; size <= ceil(range/slide).
+std::vector<WindowBounds> AssignWindows(const WindowSpec& spec,
+                                        std::int64_t coord);
+
+/// \brief Start of the earliest window containing `coord`.
+std::int64_t FirstWindowStartFor(const WindowSpec& spec, std::int64_t coord);
+
+/// \brief Start of the window-aligned slot containing `coord` (the latest
+/// window start <= coord).
+std::int64_t LastWindowStartFor(const WindowSpec& spec, std::int64_t coord);
+
+/// \brief Start of the earliest window NOT complete at `watermark`, i.e.
+/// the smallest aligned s with s + range > watermark. Callers must clamp
+/// `watermark` below kMaxTimestamp - range - slide (see ClampWatermark).
+std::int64_t FirstIncompleteWindowStart(const WindowSpec& spec,
+                                        std::int64_t watermark);
+
+/// \brief Clamps a watermark so window-start arithmetic cannot overflow
+/// (the end-of-stream watermark is kMaxTimestamp). The clamped value still
+/// completes every window that can ever hold data.
+std::int64_t ClampWatermark(const WindowSpec& spec, std::int64_t watermark);
+
+}  // namespace spear

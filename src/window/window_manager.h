@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "tuple/tuple.h"
+#include "window/window_spec.h"
+
+/// \file window_manager.h
+/// Common interface of the two buffering designs from the paper's Sec. 2
+/// (Figs. 3-4): the *single buffer* design (Storm — one arrival-ordered
+/// buffer, scan + evict at watermark) and the *multiple buffers* design
+/// (Flink — a tuple copy per participating window). SPEAr extends the
+/// single-buffer design (core/spear_window_manager.h).
+///
+/// Managers are single-threaded: each runtime worker owns one.
+
+namespace spear {
+
+/// \brief A window staged for processing at watermark arrival.
+struct CompleteWindow {
+  WindowBounds bounds;
+  /// The tuples of S_w (materialized, including any spilled portion).
+  std::vector<Tuple> tuples;
+};
+
+/// \brief Interface shared by buffering designs.
+class WindowManager {
+ public:
+  virtual ~WindowManager() = default;
+
+  /// Tuple arrival. `coord` is the tuple's window coordinate: its event
+  /// time (time-based) or its per-partition sequence number (count-based).
+  virtual void OnTuple(std::int64_t coord, Tuple tuple) = 0;
+
+  /// Watermark arrival: stages every not-yet-emitted window whose end is
+  /// <= `watermark` and evicts expired tuples. Windows are returned in
+  /// ascending start order.
+  virtual Result<std::vector<CompleteWindow>> OnWatermark(
+      std::int64_t watermark) = 0;
+
+  /// Tuples currently buffered (memory + spill).
+  virtual std::size_t BufferedTuples() const = 0;
+
+  /// Approximate resident memory in bytes (Fig. 7 accounting).
+  virtual std::size_t MemoryBytes() const = 0;
+
+  /// Tuples dropped because they arrived behind the watermark.
+  virtual std::uint64_t late_tuples() const = 0;
+};
+
+}  // namespace spear

@@ -1,0 +1,18 @@
+#include "window/window_spec.h"
+
+namespace spear {
+
+std::string WindowSpec::ToString() const {
+  std::string out = type == WindowType::kTimeBased ? "time" : "count";
+  out += IsTumbling() ? "-tumbling(" : "-sliding(";
+  out += "range=" + std::to_string(range);
+  if (!IsTumbling()) out += ", slide=" + std::to_string(slide);
+  out += ")";
+  return out;
+}
+
+std::string WindowBounds::ToString() const {
+  return "[" + std::to_string(start) + ", " + std::to_string(end) + ")";
+}
+
+}  // namespace spear

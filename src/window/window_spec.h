@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/logging.h"
+#include "common/time.h"
+
+/// \file window_spec.h
+/// Window definitions (Sec. 2 of the paper): time- or count-based range and
+/// slide. Tumbling windows are sliding windows whose slide equals the
+/// range. Window *coordinates* abstract over the two domains — event-time
+/// milliseconds for time-based windows, per-partition sequence numbers for
+/// count-based ones — so one assigner and one manager serve both.
+
+namespace spear {
+
+enum class WindowType : std::uint8_t { kTimeBased, kCountBased };
+
+/// \brief Range/slide description of a windowing function W.
+struct WindowSpec {
+  WindowType type = WindowType::kTimeBased;
+  /// Window length: milliseconds (time-based) or tuples (count-based).
+  std::int64_t range = 0;
+  /// Slide between consecutive window starts, same unit as `range`.
+  std::int64_t slide = 0;
+
+  static WindowSpec TumblingTime(DurationMs range) {
+    return WindowSpec{WindowType::kTimeBased, range, range};
+  }
+  static WindowSpec SlidingTime(DurationMs range, DurationMs slide) {
+    return WindowSpec{WindowType::kTimeBased, range, slide};
+  }
+  static WindowSpec TumblingCount(std::int64_t count) {
+    return WindowSpec{WindowType::kCountBased, count, count};
+  }
+  static WindowSpec SlidingCount(std::int64_t range, std::int64_t slide) {
+    return WindowSpec{WindowType::kCountBased, range, slide};
+  }
+
+  bool IsTumbling() const { return slide == range; }
+  bool IsValid() const { return range > 0 && slide > 0 && slide <= range; }
+
+  /// Number of windows a single coordinate belongs to: ceil(range/slide).
+  std::int64_t WindowsPerCoordinate() const {
+    return (range + slide - 1) / slide;
+  }
+
+  std::string ToString() const;
+};
+
+/// \brief Half-open interval [start, end) in window coordinates.
+struct WindowBounds {
+  std::int64_t start = 0;
+  std::int64_t end = 0;
+
+  bool Contains(std::int64_t coord) const {
+    return coord >= start && coord < end;
+  }
+  std::int64_t length() const { return end - start; }
+
+  bool operator==(const WindowBounds& other) const {
+    return start == other.start && end == other.end;
+  }
+  bool operator<(const WindowBounds& other) const {
+    return start != other.start ? start < other.start : end < other.end;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace spear

@@ -1,0 +1,29 @@
+#include "common/byte_size.h"
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+using namespace spear::literals;  // NOLINT
+
+TEST(ByteSizeTest, Literals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+  EXPECT_EQ(2_GiB, 2ull * 1024 * 1024 * 1024);
+}
+
+TEST(ByteSizeTest, FormatPlainBytes) {
+  EXPECT_EQ(FormatBytes(0), "0 B");
+  EXPECT_EQ(FormatBytes(512), "512 B");
+}
+
+TEST(ByteSizeTest, FormatScaled) {
+  EXPECT_EQ(FormatBytes(1024), "1.0 KiB");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KiB");
+  EXPECT_EQ(FormatBytes(1_MiB), "1.0 MiB");
+  EXPECT_EQ(FormatBytes(3 * 1_GiB / 2), "1.5 GiB");
+}
+
+}  // namespace
+}  // namespace spear

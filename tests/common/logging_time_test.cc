@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.h"
+#include "common/time.h"
+
+namespace spear {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, SuppressedLevelsDoNotCrash) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kOff);
+  SPEAR_LOG(Debug) << "below the threshold " << 42;
+  SPEAR_LOG(Error) << "also suppressed at kOff";
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, CheckPassesOnTrue) {
+  SPEAR_CHECK(1 + 1 == 2);  // must not abort
+}
+
+TEST(LoggingTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH(SPEAR_CHECK(false), "Check failed: false");
+}
+
+TEST(TimeTest, DurationHelpers) {
+  EXPECT_EQ(Seconds(45), 45'000);
+  EXPECT_EQ(Minutes(15), 900'000);
+  EXPECT_EQ(Hours(2), 7'200'000);
+  EXPECT_EQ(Minutes(60), Hours(1));
+}
+
+TEST(TimeTest, NowNsMonotone) {
+  const std::int64_t a = NowNs();
+  const std::int64_t b = NowNs();
+  EXPECT_GE(b, a);
+}
+
+TEST(TimeTest, ScopedTimerAccumulates) {
+  std::int64_t total = 0;
+  {
+    ScopedTimerNs timer(&total);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(total, 2'000'000);
+  const std::int64_t first = total;
+  {
+    ScopedTimerNs timer(&total);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(total, first + 1'000'000);  // accumulates, not overwrites
+}
+
+TEST(TimeTest, TimestampSentinels) {
+  EXPECT_LT(kMinTimestamp, 0);
+  EXPECT_GT(kMaxTimestamp, 0);
+  EXPECT_LT(kMinTimestamp, kMaxTimestamp);
+}
+
+}  // namespace
+}  // namespace spear

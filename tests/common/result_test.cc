@@ -1,0 +1,71 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace spear {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  Result<int> ok(7);
+  Result<int> err(Status::Internal("x"));
+  EXPECT_EQ(ok.ValueOr(-1), 7);
+  EXPECT_EQ(err.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, ArrowAccess) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::string> r(std::string("a"));
+  *r += "b";
+  EXPECT_EQ(*r, "ab");
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::Invalid("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SPEAR_ASSIGN_OR_RETURN(const int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  Result<int> r = Quarter(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesInnerError) {
+  EXPECT_TRUE(Quarter(7).status().IsInvalid());   // first Half fails
+  EXPECT_TRUE(Quarter(6).status().IsInvalid());   // second Half fails
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,83 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace spear {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(17);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[rng.NextBounded(8)];
+  for (int h : hits) EXPECT_GT(h, 700);  // ~1000 each; loose bound
+}
+
+TEST(RngTest, NextBoundedOne) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.02);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  SplitMix64 sm(0);
+  const std::uint64_t first = sm.Next();
+  SplitMix64 sm2(0);
+  EXPECT_EQ(sm2.Next(), first);
+  EXPECT_NE(sm.Next(), first);
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,84 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace spear {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+  EXPECT_EQ(Status::OK().ToString(), "ok");
+}
+
+TEST(StatusTest, InvalidCarriesMessage) {
+  Status s = Status::Invalid("bad phi");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalid());
+  EXPECT_EQ(s.message(), "bad phi");
+  EXPECT_EQ(s.ToString(), "invalid-argument: bad phi");
+}
+
+TEST(StatusTest, EveryFactoryMapsToItsCode) {
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
+}
+
+TEST(StatusTest, PredicatesAreExclusive) {
+  Status s = Status::NotFound("k");
+  EXPECT_FALSE(s.IsInvalid());
+  EXPECT_FALSE(s.IsInternal());
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::Invalid("a"), Status::Invalid("a"));
+  EXPECT_FALSE(Status::Invalid("a") == Status::Invalid("b"));
+  EXPECT_FALSE(Status::Invalid("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::IOError("disk gone");
+  EXPECT_EQ(os.str(), "io-error: disk gone");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "resource-exhausted");
+}
+
+Status FailsAtTwo(int x) {
+  if (x == 2) return Status::Invalid("two");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  SPEAR_RETURN_NOT_OK(FailsAtTwo(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_TRUE(Chain(2).IsInvalid());
+}
+
+}  // namespace
+}  // namespace spear

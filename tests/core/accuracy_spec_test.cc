@@ -1,0 +1,50 @@
+#include "core/accuracy_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/byte_size.h"
+
+namespace spear {
+namespace {
+
+TEST(AccuracySpecTest, DefaultsValid) {
+  AccuracySpec spec;
+  EXPECT_TRUE(spec.Validate().ok());
+  EXPECT_DOUBLE_EQ(spec.epsilon, 0.10);
+  EXPECT_DOUBLE_EQ(spec.confidence, 0.95);
+}
+
+TEST(AccuracySpecTest, RejectsOutOfRange) {
+  EXPECT_FALSE((AccuracySpec{0.0, 0.95}.Validate().ok()));
+  EXPECT_FALSE((AccuracySpec{1.0, 0.95}.Validate().ok()));
+  EXPECT_FALSE((AccuracySpec{0.1, 0.0}.Validate().ok()));
+  EXPECT_FALSE((AccuracySpec{0.1, 1.0}.Validate().ok()));
+  EXPECT_TRUE((AccuracySpec{0.01, 0.999}.Validate().ok()));
+}
+
+TEST(BudgetTest, TupleDenominated) {
+  const Budget b = Budget::Tuples(150);
+  EXPECT_FALSE(b.IsByteDenominated());
+  EXPECT_EQ(b.ElementsFor(sizeof(double)), 150u);
+  EXPECT_EQ(b.ElementsFor(1000), 150u);  // element size irrelevant
+  EXPECT_TRUE(b.Validate().ok());
+}
+
+TEST(BudgetTest, ByteDenominatedReservesBookkeeping) {
+  // The paper's example: 1 MB of f-byte fares holds 10^6/f - 2 values.
+  const Budget b = Budget::Bytes(1 * kMiB);
+  EXPECT_TRUE(b.IsByteDenominated());
+  EXPECT_EQ(b.ElementsFor(8), kMiB / 8 - 2);
+}
+
+TEST(BudgetTest, TinyByteBudgetYieldsZeroElements) {
+  EXPECT_EQ(Budget::Bytes(8).ElementsFor(8), 0u);
+  EXPECT_EQ(Budget::Bytes(24).ElementsFor(8), 1u);
+}
+
+TEST(BudgetTest, ZeroBudgetInvalid) {
+  EXPECT_FALSE(Budget::Tuples(0).Validate().ok());
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,100 @@
+#include "core/budget_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace spear {
+namespace {
+
+BudgetController::Options BaseOptions() {
+  BudgetController::Options options;
+  options.initial_budget = 1000;
+  options.min_budget = 100;
+  options.max_budget = 8000;
+  options.grow_factor = 2.0;
+  options.shrink_step = 100;
+  options.shrink_headroom = 0.5;
+  return options;
+}
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(BudgetControllerTest, OptionsValidated) {
+  {
+    auto o = BaseOptions();
+    o.min_budget = 0;
+    EXPECT_TRUE(BudgetController::Make(o).status().IsInvalid());
+  }
+  {
+    auto o = BaseOptions();
+    o.max_budget = 50;  // < min
+    EXPECT_TRUE(BudgetController::Make(o).status().IsInvalid());
+  }
+  {
+    auto o = BaseOptions();
+    o.initial_budget = 9;
+    EXPECT_TRUE(BudgetController::Make(o).status().IsInvalid());
+  }
+  {
+    auto o = BaseOptions();
+    o.grow_factor = 1.0;
+    EXPECT_TRUE(BudgetController::Make(o).status().IsInvalid());
+  }
+  {
+    auto o = BaseOptions();
+    o.shrink_headroom = 1.5;
+    EXPECT_TRUE(BudgetController::Make(o).status().IsInvalid());
+  }
+  EXPECT_TRUE(BudgetController::Make(BaseOptions()).ok());
+}
+
+TEST(BudgetControllerTest, FallbackGrowsMultiplicatively) {
+  auto c = BudgetController::Make(BaseOptions());
+  EXPECT_EQ(c->budget(), 1000u);
+  c->OnWindowOutcome(false, kInf, 0.1);
+  EXPECT_EQ(c->budget(), 2000u);
+  c->OnWindowOutcome(false, kInf, 0.1);
+  EXPECT_EQ(c->budget(), 4000u);
+  EXPECT_EQ(c->grows(), 2u);
+}
+
+TEST(BudgetControllerTest, GrowthCappedAtMax) {
+  auto c = BudgetController::Make(BaseOptions());
+  for (int i = 0; i < 10; ++i) c->OnWindowOutcome(false, kInf, 0.1);
+  EXPECT_EQ(c->budget(), 8000u);
+}
+
+TEST(BudgetControllerTest, ComfortableAcceptShrinksAdditively) {
+  auto c = BudgetController::Make(BaseOptions());
+  c->OnWindowOutcome(true, 0.01, 0.1);  // well below 0.5 * 0.1
+  EXPECT_EQ(c->budget(), 900u);
+  EXPECT_EQ(c->shrinks(), 1u);
+}
+
+TEST(BudgetControllerTest, BorderlineAcceptHoldsSteady) {
+  auto c = BudgetController::Make(BaseOptions());
+  c->OnWindowOutcome(true, 0.08, 0.1);  // above 0.5 * 0.1: keep
+  EXPECT_EQ(c->budget(), 1000u);
+  EXPECT_EQ(c->shrinks(), 0u);
+}
+
+TEST(BudgetControllerTest, ShrinkFloorsAtMin) {
+  auto c = BudgetController::Make(BaseOptions());
+  for (int i = 0; i < 50; ++i) c->OnWindowOutcome(true, 0.0, 0.1);
+  EXPECT_EQ(c->budget(), 100u);
+}
+
+TEST(BudgetControllerTest, OscillationConvergesIntoBand) {
+  // Alternating comfortable accepts and fallbacks must stay within
+  // bounds and never get stuck at an extreme.
+  auto c = BudgetController::Make(BaseOptions());
+  for (int i = 0; i < 100; ++i) {
+    c->OnWindowOutcome(i % 3 == 0, i % 3 == 0 ? 0.01 : kInf, 0.1);
+    EXPECT_GE(c->budget(), 100u);
+    EXPECT_LE(c->budget(), 8000u);
+  }
+}
+
+}  // namespace
+}  // namespace spear

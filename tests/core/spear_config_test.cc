@@ -1,0 +1,79 @@
+#include "core/spear_config.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace spear {
+namespace {
+
+TEST(SpearOperatorConfigTest, DefaultsValid) {
+  SpearOperatorConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  EXPECT_TRUE(config.incremental_optimization);
+  EXPECT_FALSE(config.adaptive_budget);
+  EXPECT_EQ(config.known_num_groups, 0u);
+  EXPECT_EQ(config.quantile_bound, QuantileBound::kNormalRank);
+}
+
+TEST(SpearOperatorConfigTest, RejectsBadPieces) {
+  {
+    SpearOperatorConfig config;
+    config.accuracy.epsilon = 0.0;
+    EXPECT_FALSE(config.Validate().ok());
+  }
+  {
+    SpearOperatorConfig config;
+    config.window = WindowSpec{WindowType::kTimeBased, 10, 20};  // slide>range
+    EXPECT_FALSE(config.Validate().ok());
+  }
+  {
+    SpearOperatorConfig config;
+    config.aggregate = AggregateSpec::Percentile(1.5);
+    EXPECT_FALSE(config.Validate().ok());
+  }
+}
+
+TEST(DecisionStatsTest, ExpediteRateAndAccumulate) {
+  DecisionStats a;
+  EXPECT_DOUBLE_EQ(a.ExpediteRate(), 0.0);  // no windows: no rate
+  a.windows_total = 10;
+  a.windows_expedited = 7;
+  a.windows_exact = 3;
+  a.tuples_seen = 100;
+  EXPECT_DOUBLE_EQ(a.ExpediteRate(), 0.7);
+
+  DecisionStats b;
+  b.windows_total = 10;
+  b.windows_expedited = 1;
+  b.late_tuples = 4;
+  a.Accumulate(b);
+  EXPECT_EQ(a.windows_total, 20u);
+  EXPECT_EQ(a.windows_expedited, 8u);
+  EXPECT_EQ(a.late_tuples, 4u);
+  EXPECT_DOUBLE_EQ(a.ExpediteRate(), 0.4);
+}
+
+TEST(DecisionStatsCollectorTest, ThreadSafeAggregation) {
+  DecisionStatsCollector collector;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&collector] {
+      DecisionStats stats;
+      stats.windows_total = 5;
+      stats.windows_expedited = 3;
+      collector.Add(stats);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(collector.PerWorker().size(), 8u);
+  const DecisionStats total = collector.Total();
+  EXPECT_EQ(total.windows_total, 40u);
+  EXPECT_EQ(total.windows_expedited, 24u);
+  collector.Reset();
+  EXPECT_TRUE(collector.PerWorker().empty());
+  EXPECT_EQ(collector.Total().windows_total, 0u);
+}
+
+}  // namespace
+}  // namespace spear

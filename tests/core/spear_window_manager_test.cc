@@ -1,0 +1,531 @@
+#include "core/spear_window_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ops/exact_operator.h"
+#include "stats/error_metrics.h"
+#include "window/single_buffer_manager.h"
+
+namespace spear {
+namespace {
+
+Tuple ScalarTuple(Timestamp t, double v) { return Tuple(t, {Value(v)}); }
+Tuple GroupTuple(Timestamp t, const std::string& k, double v) {
+  return Tuple(t, {Value(k), Value(v)});
+}
+
+SpearOperatorConfig BaseConfig() {
+  SpearOperatorConfig config;
+  config.window = WindowSpec::TumblingTime(1000);
+  config.accuracy = AccuracySpec{0.10, 0.95};
+  config.budget = Budget::Tuples(200);
+  return config;
+}
+
+TEST(SpearManagerTest, ModeDerivation) {
+  {
+    auto c = BaseConfig();
+    c.aggregate = AggregateSpec::Mean();
+    SpearWindowManager m(c, NumericField(0));
+    EXPECT_EQ(m.mode(), SpearMode::kScalarIncremental);
+  }
+  {
+    auto c = BaseConfig();
+    c.aggregate = AggregateSpec::Mean();
+    c.incremental_optimization = false;
+    SpearWindowManager m(c, NumericField(0));
+    EXPECT_EQ(m.mode(), SpearMode::kScalarSampled);
+  }
+  {
+    auto c = BaseConfig();
+    c.aggregate = AggregateSpec::Median();
+    SpearWindowManager m(c, NumericField(0));
+    EXPECT_EQ(m.mode(), SpearMode::kScalarQuantile);
+  }
+  {
+    auto c = BaseConfig();
+    SpearWindowManager m(c, NumericField(1), KeyField(0));
+    EXPECT_EQ(m.mode(), SpearMode::kGroupedUnknown);
+  }
+  {
+    auto c = BaseConfig();
+    c.known_num_groups = 8;
+    SpearWindowManager m(c, NumericField(1), KeyField(0));
+    EXPECT_EQ(m.mode(), SpearMode::kGroupedKnown);
+  }
+}
+
+TEST(SpearManagerTest, IncrementalScalarIsExact) {
+  auto config = BaseConfig();
+  config.aggregate = AggregateSpec::Mean();
+  SpearWindowManager mgr(config, NumericField(0));
+  double sum = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    mgr.OnTuple(i, ScalarTuple(i, i * 0.5));
+    sum += i * 0.5;
+  }
+  auto results = mgr.OnWatermark(1000);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_FALSE((*results)[0].approximate);
+  EXPECT_DOUBLE_EQ((*results)[0].scalar, sum / 500.0);
+  EXPECT_EQ(mgr.decision_stats().windows_expedited, 1u);
+  EXPECT_EQ(mgr.decision_stats().windows_exact, 0u);
+}
+
+TEST(SpearManagerTest, QuantileExpeditedWithAmpleBudget) {
+  auto config = BaseConfig();
+  config.aggregate = AggregateSpec::Median();
+  config.budget = Budget::Tuples(500);  // >> 185 required
+  SpearWindowManager mgr(config, NumericField(0));
+
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.NextDouble() * 100.0;
+    values.push_back(v);
+    mgr.OnTuple(i % 1000, ScalarTuple(i % 1000, v));
+  }
+  auto results = mgr.OnWatermark(1000);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_TRUE((*results)[0].approximate);
+  EXPECT_EQ((*results)[0].tuples_processed, 500u);
+  EXPECT_NEAR((*results)[0].scalar, 50.0, 8.0);
+  EXPECT_EQ(mgr.decision_stats().windows_expedited, 1u);
+}
+
+TEST(SpearManagerTest, QuantileFallsBackOnTinyBudget) {
+  auto config = BaseConfig();
+  config.aggregate = AggregateSpec::Median();
+  config.budget = Budget::Tuples(20);  // < 185 required
+  SpearWindowManager mgr(config, NumericField(0));
+  Rng rng(2);
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.NextDouble();
+    values.push_back(v);
+    mgr.OnTuple(i % 1000, ScalarTuple(i % 1000, v));
+  }
+  auto results = mgr.OnWatermark(1000);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_FALSE((*results)[0].approximate);
+  EXPECT_EQ((*results)[0].tuples_processed, 5000u);  // full window
+  // Exact fallback must equal the true median.
+  std::sort(values.begin(), values.end());
+  EXPECT_NEAR((*results)[0].scalar,
+              (values[2499] + values[2500]) / 2.0, 1e-9);
+  EXPECT_EQ(mgr.decision_stats().windows_exact, 1u);
+}
+
+TEST(SpearManagerTest, SampledMeanRespectsAccuracySpec) {
+  auto config = BaseConfig();
+  config.aggregate = AggregateSpec::Mean();
+  config.incremental_optimization = false;
+  config.budget = Budget::Tuples(1000);
+  SpearWindowManager mgr(config, NumericField(0));
+
+  Rng rng(3);
+  RunningStats truth;
+  for (int i = 0; i < 47000; ++i) {
+    const double v = 700.0 + 300.0 * rng.NextGaussian();
+    truth.Update(v);
+    mgr.OnTuple(i % 1000, ScalarTuple(i % 1000, v));
+  }
+  auto results = mgr.OnWatermark(1000);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  const WindowResult& r = (*results)[0];
+  EXPECT_TRUE(r.approximate);
+  EXPECT_LE(r.estimated_error, 0.10);
+  EXPECT_LE(RelativeError(r.scalar, truth.mean()), 0.10);
+}
+
+TEST(SpearManagerTest, SlidingWindowsEachDecideIndependently) {
+  auto config = BaseConfig();
+  config.window = WindowSpec::SlidingTime(300, 100);
+  config.aggregate = AggregateSpec::Mean();
+  SpearWindowManager mgr(config, NumericField(0));
+  for (int t = 0; t < 1000; ++t) {
+    mgr.OnTuple(t, ScalarTuple(t, 1.0));
+  }
+  auto results = mgr.OnWatermark(1000);
+  ASSERT_TRUE(results.ok());
+  EXPECT_GT(results->size(), 5u);
+  for (const auto& r : *results) EXPECT_DOUBLE_EQ(r.scalar, 1.0);
+}
+
+TEST(SpearManagerTest, GroupedUnknownExpeditesDenseGroups) {
+  auto config = BaseConfig();
+  config.aggregate = AggregateSpec::Mean();
+  config.budget = Budget::Tuples(400);
+  SpearWindowManager mgr(config, NumericField(1), KeyField(0));
+
+  Rng rng(4);
+  std::unordered_map<std::string, RunningStats> truth;
+  for (int i = 0; i < 30000; ++i) {
+    const std::string key = "g" + std::to_string(rng.NextBounded(4));
+    const double v = 100.0 * (key[1] - '0' + 1) + rng.NextGaussian();
+    truth[key].Update(v);
+    mgr.OnTuple(i % 1000, GroupTuple(i % 1000, key, v));
+  }
+  auto results = mgr.OnWatermark(1000);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  const WindowResult& r = (*results)[0];
+  EXPECT_TRUE(r.approximate);
+  ASSERT_EQ(r.groups.size(), truth.size());
+  for (const auto& [key, value] : r.groups) {
+    EXPECT_LE(RelativeError(value, truth.at(key).mean()), 0.10) << key;
+  }
+}
+
+TEST(SpearManagerTest, GroupedUnknownFallsBackOnSparseGroups) {
+  auto config = BaseConfig();
+  config.aggregate = AggregateSpec::Mean();
+  config.budget = Budget::Tuples(50);
+  SpearWindowManager mgr(config, NumericField(1), KeyField(0));
+  // 500 distinct groups >> budget of 50 group slots: tracker overflows.
+  for (int i = 0; i < 500; ++i) {
+    mgr.OnTuple(i, GroupTuple(i, "g" + std::to_string(i), 1.0));
+  }
+  auto results = mgr.OnWatermark(1000);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_FALSE((*results)[0].approximate);
+  EXPECT_EQ((*results)[0].groups.size(), 500u);  // exact: all groups
+  EXPECT_EQ(mgr.decision_stats().windows_exact, 1u);
+}
+
+TEST(SpearManagerTest, GroupedKnownSamplesAtTupleArrival) {
+  auto config = BaseConfig();
+  config.aggregate = AggregateSpec::Mean();
+  config.budget = Budget::Tuples(800);
+  config.known_num_groups = 8;
+  SpearWindowManager mgr(config, NumericField(1), KeyField(0));
+
+  Rng rng(5);
+  std::unordered_map<std::string, RunningStats> truth;
+  for (int i = 0; i < 50000; ++i) {
+    const std::string key = "c" + std::to_string(rng.NextBounded(8));
+    const double v = 10.0 * (key[1] - '0' + 1) + 0.5 * rng.NextGaussian();
+    truth[key].Update(v);
+    mgr.OnTuple(i % 1000, GroupTuple(i % 1000, key, v));
+  }
+  auto results = mgr.OnWatermark(1000);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  const WindowResult& r = (*results)[0];
+  EXPECT_TRUE(r.approximate);
+  ASSERT_EQ(r.groups.size(), 8u);
+  // Expedited from per-group reservoirs: ~100 samples per group.
+  EXPECT_LE(r.tuples_processed, 810u);
+  for (const auto& [key, value] : r.groups) {
+    EXPECT_LE(RelativeError(value, truth.at(key).mean()), 0.10) << key;
+  }
+}
+
+TEST(SpearManagerTest, GroupedKnownFallsBackWhenMoreGroupsAppear) {
+  auto config = BaseConfig();
+  config.aggregate = AggregateSpec::Mean();
+  config.budget = Budget::Tuples(100);
+  config.known_num_groups = 2;  // wrong declaration
+  SpearWindowManager mgr(config, NumericField(1), KeyField(0));
+  for (int i = 0; i < 100; ++i) {
+    mgr.OnTuple(i, GroupTuple(i, "g" + std::to_string(i % 5), 1.0));
+  }
+  auto results = mgr.OnWatermark(1000);
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE((*results)[0].approximate);
+}
+
+TEST(SpearManagerTest, CustomEstimatorDrivesDecision) {
+  auto config = BaseConfig();
+  config.aggregate = AggregateSpec::Mean();
+  int calls = 0;
+  config.custom_estimator =
+      [&calls](const std::vector<double>& sample, const RunningStats&,
+               std::uint64_t, const AccuracySpec&) -> Result<ScalarEstimate> {
+    ++calls;
+    ScalarEstimate est;
+    est.estimate = sample.empty() ? 0.0 : sample.front();
+    est.epsilon_hat = 0.05;
+    est.accepted = true;
+    return est;
+  };
+  SpearWindowManager mgr(config, NumericField(0));
+  EXPECT_EQ(mgr.mode(), SpearMode::kScalarSampled);
+  for (int i = 0; i < 100; ++i) mgr.OnTuple(i, ScalarTuple(i, 7.0));
+  auto results = mgr.OnWatermark(1000);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE((*results)[0].approximate);
+  EXPECT_DOUBLE_EQ((*results)[0].scalar, 7.0);
+  EXPECT_DOUBLE_EQ((*results)[0].estimated_error, 0.05);
+}
+
+TEST(SpearManagerTest, LateTuplesCounted) {
+  auto config = BaseConfig();
+  config.aggregate = AggregateSpec::Mean();
+  SpearWindowManager mgr(config, NumericField(0));
+  mgr.OnTuple(500, ScalarTuple(500, 1.0));
+  (void)mgr.OnWatermark(1000);
+  mgr.OnTuple(900, ScalarTuple(900, 1.0));
+  EXPECT_EQ(mgr.decision_stats().late_tuples, 1u);
+}
+
+TEST(SpearManagerTest, SpillAndExactFallbackRoundTrip) {
+  SecondaryStorage storage;
+  auto config = BaseConfig();
+  config.aggregate = AggregateSpec::Median();
+  config.budget = Budget::Tuples(10);       // forces exact fallback
+  config.buffer_memory_capacity = 100;      // forces spill
+  SpearWindowManager mgr(config, NumericField(0), nullptr, &storage, "t");
+
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    const double v = static_cast<double>(i);
+    values.push_back(v);
+    mgr.OnTuple(i, ScalarTuple(i, v));
+  }
+  EXPECT_GT(storage.TotalTuples(), 0u);
+  auto results = mgr.OnWatermark(1000);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_FALSE((*results)[0].approximate);
+  EXPECT_DOUBLE_EQ((*results)[0].scalar, 249.5);
+  EXPECT_EQ(storage.TotalTuples(), 0u);  // unspilled and erased
+}
+
+TEST(SpearManagerTest, SpillExpeditedPathNeverTouchesStorage) {
+  SecondaryStorage storage;
+  auto config = BaseConfig();
+  config.aggregate = AggregateSpec::Median();
+  config.budget = Budget::Tuples(400);
+  config.buffer_memory_capacity = 100;
+  SpearWindowManager mgr(config, NumericField(0), nullptr, &storage, "t");
+
+  Rng rng(6);
+  for (int i = 0; i < 5000; ++i) {
+    mgr.OnTuple(i % 1000, ScalarTuple(i % 1000, rng.NextDouble()));
+  }
+  const std::uint64_t gets_before = storage.get_calls();
+  auto results = mgr.OnWatermark(1000);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE((*results)[0].approximate);
+  EXPECT_EQ(storage.get_calls(), gets_before);  // no S reads when expedited
+  EXPECT_EQ(storage.TotalTuples(), 0u);         // expired run discarded
+}
+
+TEST(SpearManagerTest, BudgetMemoryStaysBounded) {
+  auto config = BaseConfig();
+  config.aggregate = AggregateSpec::Median();
+  config.budget = Budget::Tuples(100);
+  SpearWindowManager mgr(config, NumericField(0));
+  for (int i = 0; i < 50000; ++i) {
+    mgr.OnTuple(i % 1000, ScalarTuple(i % 1000, 1.0));
+  }
+  // One active window holding a 100-element sample + bookkeeping.
+  EXPECT_LE(mgr.BudgetMemoryBytes(), 100 * sizeof(double) + 512);
+  EXPECT_GT(mgr.BufferMemoryBytes(), 50000u);  // raw custody is separate
+}
+
+TEST(SpearManagerTest, DecisionStatsTallyAcrossWindows) {
+  auto config = BaseConfig();
+  config.window = WindowSpec::TumblingTime(100);
+  config.aggregate = AggregateSpec::Median();
+  config.budget = Budget::Tuples(250);
+  SpearWindowManager mgr(config, NumericField(0));
+  Rng rng(7);
+  // Windows alternate between large (expedite) and tiny (sample==window,
+  // exact-equivalent but still within epsilon -> expedited).
+  for (int w = 0; w < 10; ++w) {
+    const int n = (w % 2 == 0) ? 2000 : 50;
+    for (int i = 0; i < n; ++i) {
+      const Timestamp t = w * 100 + (i % 100);
+      mgr.OnTuple(t, ScalarTuple(t, rng.NextDouble()));
+    }
+  }
+  auto results = mgr.OnWatermark(10 * 100);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 10u);
+  const DecisionStats& stats = mgr.decision_stats();
+  EXPECT_EQ(stats.windows_total, 10u);
+  EXPECT_EQ(stats.windows_expedited + stats.windows_exact, 10u);
+  EXPECT_EQ(stats.tuples_seen, 10250u);
+  EXPECT_GT(stats.ExpediteRate(), 0.0);
+}
+
+TEST(SpearManagerTest, InvalidConfigAborts) {
+  auto config = BaseConfig();
+  config.accuracy.epsilon = 0.0;
+  EXPECT_DEATH(SpearWindowManager(config, NumericField(0)), "Check failed");
+}
+
+TEST(SpearManagerTest, AdaptiveBudgetGrowsAfterFallbacks) {
+  auto config = BaseConfig();
+  config.window = WindowSpec::TumblingTime(100);
+  config.aggregate = AggregateSpec::Median();
+  config.budget = Budget::Tuples(40);  // below the ~96 the rank bound needs
+  config.adaptive_budget = true;
+  config.adaptive_options.max_budget = 4096;
+  SpearWindowManager mgr(config, NumericField(0));
+
+  Rng rng(11);
+  // Several consecutive windows of 2000 noisy tuples: the first windows
+  // fall back, the controller doubles the budget, and later windows
+  // expedite.
+  for (int w = 0; w < 8; ++w) {
+    for (int i = 0; i < 2000; ++i) {
+      const Timestamp t = w * 100 + (i % 100);
+      mgr.OnTuple(t, ScalarTuple(t, rng.NextDouble()));
+    }
+    auto results = mgr.OnWatermark((w + 1) * 100);
+    ASSERT_TRUE(results.ok());
+  }
+  const DecisionStats& stats = mgr.decision_stats();
+  EXPECT_GT(stats.windows_exact, 0u) << "small initial budget must fall back";
+  EXPECT_GT(stats.windows_expedited, 0u) << "grown budget must expedite";
+  ASSERT_NE(mgr.budget_controller(), nullptr);
+  EXPECT_GT(mgr.budget_controller()->grows(), 0u);
+  EXPECT_GT(mgr.budget_elements(), 40u);
+}
+
+TEST(SpearManagerTest, LateTupleDemotesIncrementalToSampleEstimate) {
+  auto config = BaseConfig();
+  config.window = WindowSpec::SlidingTime(1000, 500);
+  config.aggregate = AggregateSpec::Mean();
+  config.budget = Budget::Tuples(500);
+  SpearWindowManager mgr(config, NumericField(0));
+
+  Rng rng(13);
+  // Fill [0, 1500): windows [0,1000), [500,1500), ... are active.
+  for (int t = 0; t < 1500; ++t) {
+    mgr.OnTuple(t, ScalarTuple(t, 50.0 + rng.NextGaussian()));
+  }
+  // Watermark 1000 emits [-500,500) and [0,1000) — exact incremental,
+  // no anomaly yet.
+  auto first = mgr.OnWatermark(1000);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->size(), 2u);
+  EXPECT_FALSE((*first)[0].approximate);
+  EXPECT_FALSE((*first)[1].approximate);
+
+  // A late tuple at 900 lands inside the still-active window [500,1500):
+  // its incremental accumulator can no longer be trusted.
+  mgr.OnTuple(900, ScalarTuple(900, 50.0));
+  EXPECT_EQ(mgr.decision_stats().late_tuples, 1u);
+
+  auto second = mgr.OnWatermark(1500);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second->size(), 1u);
+  // Anomalous window: produced from the sample with an accuracy estimate
+  // (the data is tight enough for the CI to accept).
+  EXPECT_TRUE((*second)[0].approximate);
+  EXPECT_LE((*second)[0].estimated_error, 0.10);
+  EXPECT_NEAR((*second)[0].scalar, 50.0, 2.0);
+}
+
+TEST(SpearManagerTest, ExplicitAnomalyFallsBackToExactWhenSampleTooSmall) {
+  auto config = BaseConfig();
+  config.aggregate = AggregateSpec::Mean();
+  config.budget = Budget::Tuples(35);  // tiny: CI too wide on noisy data
+  SpearWindowManager mgr(config, NumericField(0));
+  Rng rng(17);
+  for (int i = 0; i < 2000; ++i) {
+    // cv ~ 3: a 35-element sample cannot certify 10%.
+    mgr.OnTuple(i % 1000, ScalarTuple(i % 1000,
+                                      1.0 + 3.0 * rng.NextGaussian()));
+  }
+  mgr.NotifyDeliveryAnomaly();
+  auto results = mgr.OnWatermark(1000);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_FALSE((*results)[0].approximate);  // rescanned exactly
+  EXPECT_EQ(mgr.decision_stats().windows_exact, 1u);
+}
+
+TEST(SpearManagerTest, QuantileBoundConfigChangesDecision) {
+  // b=120 sits between the normal-rank requirement (~96) and Hoeffding's
+  // (~185) for eps=10% @ 95%: the configured bound decides.
+  auto make = [](QuantileBound bound) {
+    auto config = BaseConfig();
+    config.aggregate = AggregateSpec::Median();
+    config.budget = Budget::Tuples(120);
+    config.quantile_bound = bound;
+    return config;
+  };
+  Rng rng(23);
+  std::vector<Tuple> stream;
+  for (int i = 0; i < 20000; ++i) {
+    stream.push_back(ScalarTuple(i % 1000, rng.NextDouble()));
+  }
+
+  SpearWindowManager normal(make(QuantileBound::kNormalRank),
+                            NumericField(0));
+  SpearWindowManager hoeffding(make(QuantileBound::kHoeffding),
+                               NumericField(0));
+  for (const Tuple& t : stream) {
+    normal.OnTuple(t.event_time(), t);
+    hoeffding.OnTuple(t.event_time(), t);
+  }
+  auto normal_results = normal.OnWatermark(1000);
+  auto hoeffding_results = hoeffding.OnWatermark(1000);
+  ASSERT_TRUE(normal_results.ok());
+  ASSERT_TRUE(hoeffding_results.ok());
+  EXPECT_TRUE((*normal_results)[0].approximate);
+  EXPECT_FALSE((*hoeffding_results)[0].approximate);
+}
+
+TEST(SpearManagerTest, SlidingCountWindows) {
+  auto config = BaseConfig();
+  config.window = WindowSpec::SlidingCount(1000, 500);
+  config.aggregate = AggregateSpec::Median();
+  config.budget = Budget::Tuples(200);
+  SpearWindowManager mgr(config, NumericField(0));
+  Rng rng(29);
+  // Coordinates are sequence numbers for count windows; the driver (bolt)
+  // assigns them — emulate it here.
+  std::int64_t seq = 0;
+  std::vector<WindowResult> all;
+  for (int i = 0; i < 5000; ++i) {
+    mgr.OnTuple(seq, ScalarTuple(i, rng.NextDouble() * 10.0));
+    ++seq;
+    auto results = mgr.OnWatermark(seq);
+    ASSERT_TRUE(results.ok());
+    for (auto& r : *results) all.push_back(std::move(r));
+  }
+  // 5000 tuples, range 1000, slide 500 -> windows ending at 1000, 1500,
+  // ..., 5000 (plus the partial lead-in window [-500, 500)).
+  EXPECT_GE(all.size(), 9u);
+  for (const WindowResult& r : all) {
+    if (r.bounds.start < 0) continue;  // lead-in partial window
+    EXPECT_EQ(r.window_size, 1000u);
+    EXPECT_TRUE(r.approximate);
+    EXPECT_NEAR(r.scalar, 5.0, 1.5);
+  }
+}
+
+TEST(SpearManagerTest, FixedBudgetHasNoController) {
+  auto config = BaseConfig();
+  SpearWindowManager mgr(config, NumericField(0));
+  EXPECT_EQ(mgr.budget_controller(), nullptr);
+  EXPECT_EQ(mgr.budget_elements(), 200u);
+}
+
+TEST(SpearManagerTest, ProcessingNsPopulated) {
+  auto config = BaseConfig();
+  config.aggregate = AggregateSpec::Median();
+  SpearWindowManager mgr(config, NumericField(0));
+  for (int i = 0; i < 1000; ++i) mgr.OnTuple(i, ScalarTuple(i, 1.0));
+  auto results = mgr.OnWatermark(1000);
+  ASSERT_TRUE(results.ok());
+  EXPECT_GT((*results)[0].processing_ns, 0);
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,175 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stats/running_stats.h"
+
+namespace spear {
+namespace {
+
+TEST(WorkloadSpecTest, Table1Parameters) {
+  const auto debs = WorkloadSpec::Debs();
+  EXPECT_EQ(debs.window_range, Minutes(30));
+  EXPECT_EQ(debs.window_slide, Minutes(15));
+  EXPECT_EQ(debs.avg_window_size, 10'000u);
+
+  const auto gcm = WorkloadSpec::Gcm();
+  EXPECT_EQ(gcm.window_range, Minutes(60));
+  EXPECT_EQ(gcm.avg_window_size, 320'000u);
+
+  const auto dec = WorkloadSpec::Dec();
+  EXPECT_EQ(dec.window_range, Seconds(45));
+  EXPECT_EQ(dec.window_slide, Seconds(15));
+  EXPECT_EQ(dec.avg_window_size, 47'000u);
+}
+
+TEST(GeneratorsTest, Deterministic) {
+  DebsGenerator::Config config;
+  config.duration = Minutes(10);
+  const auto a = DebsGenerator::Generate(config);
+  const auto b = DebsGenerator::Generate(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(a.size(), 100); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(GeneratorsTest, DifferentSeedsDiffer) {
+  DecGenerator::Config a_cfg, b_cfg;
+  a_cfg.duration = b_cfg.duration = Minutes(1);
+  b_cfg.seed = 777;
+  const auto a = DecGenerator::Generate(a_cfg);
+  const auto b = DecGenerator::Generate(b_cfg);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  // Some prefix tuple must differ (timestamps or sizes).
+  bool differs = a.size() != b.size();
+  for (std::size_t i = 0; !differs && i < std::min(a.size(), b.size()) &&
+                          i < 50;
+       ++i) {
+    differs = !(a[i] == b[i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GeneratorsTest, TimestampsMonotoneNonDecreasing) {
+  GcmGenerator::Config config;
+  config.duration = Minutes(5);
+  const auto tuples = GcmGenerator::Generate(config);
+  for (std::size_t i = 1; i < tuples.size(); ++i) {
+    EXPECT_GE(tuples[i].event_time(), tuples[i - 1].event_time());
+  }
+}
+
+TEST(GeneratorsTest, EventTimeMatchesTimeField) {
+  DecGenerator::Config config;
+  config.duration = Minutes(1);
+  for (const Tuple& t : DecGenerator::Generate(config)) {
+    EXPECT_EQ(t.event_time(), t.field(DecGenerator::kTimeField).AsInt64());
+  }
+}
+
+TEST(DebsGeneratorTest, WindowSizeNearTarget) {
+  DebsGenerator::Config config;
+  config.duration = Minutes(60);
+  const auto tuples = DebsGenerator::Generate(config);
+  // ~5.56/s * 1800s = ~10000 per 30-minute window.
+  std::size_t in_first_window = 0;
+  for (const Tuple& t : tuples) {
+    if (t.event_time() < Minutes(30)) ++in_first_window;
+  }
+  EXPECT_NEAR(static_cast<double>(in_first_window), 10000.0, 800.0);
+}
+
+TEST(DebsGeneratorTest, SparsityMatchesPaper) {
+  // ~5K distinct routes per ~10K-tuple window, most appearing <= 2 times.
+  DebsGenerator::Config config;
+  config.duration = Minutes(30);
+  const auto tuples = DebsGenerator::Generate(config);
+  std::unordered_map<std::string, int> freq;
+  for (const Tuple& t : tuples) {
+    ++freq[t.field(DebsGenerator::kRouteField).AsString()];
+  }
+  EXPECT_NEAR(static_cast<double>(freq.size()), 5000.0, 800.0);
+  std::size_t rare = 0;
+  for (const auto& [route, count] : freq) {
+    if (count <= 2) ++rare;
+  }
+  EXPECT_GT(static_cast<double>(rare) / static_cast<double>(freq.size()), 0.7);
+}
+
+TEST(DebsGeneratorTest, FaresPositiveAndPlausible) {
+  DebsGenerator::Config config;
+  config.duration = Minutes(10);
+  RunningStats fares;
+  for (const Tuple& t : DebsGenerator::Generate(config)) {
+    fares.Update(t.field(DebsGenerator::kFareField).AsDouble());
+  }
+  EXPECT_GT(fares.min(), 0.0);
+  EXPECT_GT(fares.mean(), 4.0);
+  EXPECT_LT(fares.mean(), 30.0);
+}
+
+TEST(GcmGeneratorTest, ExactlyConfiguredClassCount) {
+  GcmGenerator::Config config;
+  config.duration = Minutes(20);
+  std::unordered_set<std::int64_t> classes;
+  for (const Tuple& t : GcmGenerator::Generate(config)) {
+    classes.insert(t.field(GcmGenerator::kClassField).AsInt64());
+  }
+  EXPECT_EQ(classes.size(), config.num_classes);
+}
+
+TEST(GcmGeneratorTest, ClassMixIsSkewed) {
+  GcmGenerator::Config config;
+  config.duration = Minutes(20);
+  std::unordered_map<std::int64_t, std::size_t> freq;
+  std::size_t total = 0;
+  for (const Tuple& t : GcmGenerator::Generate(config)) {
+    ++freq[t.field(GcmGenerator::kClassField).AsInt64()];
+    ++total;
+  }
+  // Zipf: class 0 dominates; every class still appears many times (dense
+  // groups are the property GCM findings rely on).
+  EXPECT_GT(freq[0], total / 4);
+  for (const auto& [cls, count] : freq) {
+    EXPECT_GT(count, 50u) << "class " << cls;
+  }
+}
+
+TEST(GcmGeneratorTest, WindowSizeNearTarget) {
+  GcmGenerator::Config config;
+  config.duration = Hours(1);
+  const auto tuples = GcmGenerator::Generate(config);
+  EXPECT_NEAR(static_cast<double>(tuples.size()), 320'000.0, 20'000.0);
+}
+
+TEST(DecGeneratorTest, BimodalPacketSizes) {
+  DecGenerator::Config config;
+  config.duration = Minutes(2);
+  std::size_t small = 0, mtu = 0, total = 0;
+  for (const Tuple& t : DecGenerator::Generate(config)) {
+    const double size = t.field(DecGenerator::kSizeField).AsDouble();
+    EXPECT_GE(size, 40.0);
+    EXPECT_LE(size, 1520.0);
+    if (size < 110.0) ++small;
+    if (size >= 1400.0) ++mtu;
+    ++total;
+  }
+  EXPECT_NEAR(static_cast<double>(small) / total, 0.40, 0.05);
+  EXPECT_NEAR(static_cast<double>(mtu) / total, 0.40, 0.05);
+}
+
+TEST(DecGeneratorTest, WindowSizeNearTarget) {
+  DecGenerator::Config config;
+  config.duration = Seconds(45);
+  const auto tuples = DecGenerator::Generate(config);
+  EXPECT_NEAR(static_cast<double>(tuples.size()), 47'000.0, 3'000.0);
+}
+
+}  // namespace
+}  // namespace spear

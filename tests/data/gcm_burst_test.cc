@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "stats/running_stats.h"
+
+/// \file gcm_burst_test.cc
+/// Properties of the GCM generator's variance bursts, the mechanism
+/// behind the Fig. 10 reproduction (see EXPERIMENTS.md).
+
+namespace spear {
+namespace {
+
+GcmGenerator::Config BurstyConfig() {
+  GcmGenerator::Config config;
+  config.duration = Hours(3);
+  return config;
+}
+
+TEST(GcmBurstTest, BurstsAreMeanNeutral) {
+  // E[U] = high*p + low*(1-p) must be ~1 so bursts change variance, not
+  // the window means the accuracy check is anchored to.
+  const GcmGenerator::Config config = BurstyConfig();
+  const double expected_multiplier =
+      config.burst_high * config.burst_high_prob +
+      config.burst_low * (1.0 - config.burst_high_prob);
+  EXPECT_NEAR(expected_multiplier, 1.0, 0.02);
+}
+
+TEST(GcmBurstTest, BurstWindowsHaveHigherCv) {
+  const auto tuples = GcmGenerator::Generate(BurstyConfig());
+  const GcmGenerator::Config config = BurstyConfig();
+
+  // Partition tuples of class 0 into burst-overlapping 15-minute slots
+  // and quiet slots; the bursty slots must have a higher coefficient of
+  // variation.
+  RunningStats bursty, quiet;
+  for (const Tuple& t : tuples) {
+    if (t.field(GcmGenerator::kClassField).AsInt64() != 0) continue;
+    const Timestamp ts = t.event_time();
+    const Timestamp slot = ts / Minutes(15);
+    const Timestamp slot_start = slot * Minutes(15);
+    const bool overlaps_burst =
+        (slot_start % config.burst_period) < config.burst_duration ||
+        ((slot_start + Minutes(15) - 1) % config.burst_period) <
+            config.burst_duration;
+    const double v = t.field(GcmGenerator::kCpuField).AsDouble();
+    (overlaps_burst ? bursty : quiet).Update(v);
+  }
+  ASSERT_GT(bursty.count(), 1000u);
+  ASSERT_GT(quiet.count(), 10000u);
+  const double bursty_cv = bursty.PopulationStdDev() / bursty.mean();
+  const double quiet_cv = quiet.PopulationStdDev() / quiet.mean();
+  EXPECT_GT(bursty_cv, quiet_cv * 1.1);
+}
+
+TEST(GcmBurstTest, DisablingBurstsRemovesThem) {
+  GcmGenerator::Config config = BurstyConfig();
+  config.duration = Hours(2);
+  config.burst_period = 0;  // disabled
+  RunningStats all;
+  for (const Tuple& t : GcmGenerator::Generate(config)) {
+    if (t.field(GcmGenerator::kClassField).AsInt64() != 0) continue;
+    all.Update(t.field(GcmGenerator::kCpuField).AsDouble());
+  }
+  // Pure lognormal(sigma=0.6): cv ~ 0.66.
+  EXPECT_NEAR(all.PopulationStdDev() / all.mean(), 0.66, 0.08);
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,130 @@
+#include "data/trace_loader.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace spear {
+namespace {
+
+TraceSpec RideSpec() {
+  TraceSpec spec;
+  spec.columns = {{"time", TraceColumnType::kInt64},
+                  {"route", TraceColumnType::kString},
+                  {"fare", TraceColumnType::kDouble}};
+  spec.time_column = 0;
+  return spec;
+}
+
+TEST(TraceSpecTest, Validation) {
+  EXPECT_TRUE(RideSpec().Validate().ok());
+
+  TraceSpec empty;
+  EXPECT_TRUE(empty.Validate().IsInvalid());
+
+  TraceSpec bad_time = RideSpec();
+  bad_time.time_column = 9;
+  EXPECT_TRUE(bad_time.Validate().IsInvalid());
+
+  TraceSpec string_time = RideSpec();
+  string_time.time_column = 1;  // route column is a string
+  EXPECT_TRUE(string_time.Validate().IsInvalid());
+}
+
+TEST(TraceSpecTest, SchemaNames) {
+  const Schema schema = RideSpec().ToSchema();
+  ASSERT_EQ(schema.num_fields(), 3u);
+  EXPECT_EQ(schema.field_name(1), "route");
+}
+
+TEST(ParseTraceLineTest, ParsesTypedCells) {
+  auto tuple = ParseTraceLine("1700000000123,r42,12.5", RideSpec());
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ(tuple->event_time(), 1700000000123);
+  EXPECT_EQ(tuple->field(0).AsInt64(), 1700000000123);
+  EXPECT_EQ(tuple->field(1).AsString(), "r42");
+  EXPECT_DOUBLE_EQ(tuple->field(2).AsDouble(), 12.5);
+}
+
+TEST(ParseTraceLineTest, RejectsBadCells) {
+  EXPECT_TRUE(ParseTraceLine("oops,r42,12.5", RideSpec()).status().IsInvalid());
+  EXPECT_TRUE(ParseTraceLine("1,r42,abc", RideSpec()).status().IsInvalid());
+  EXPECT_TRUE(ParseTraceLine("1,r42", RideSpec()).status().IsInvalid())
+      << "missing column";
+}
+
+TEST(ParseTraceTest, HeaderSkippedAndRowsOrdered) {
+  const std::string csv =
+      "time,route,fare\n"
+      "100,a,1.0\n"
+      "200,b,2.0\n"
+      "300,a,3.0\n";
+  auto tuples = ParseTrace(csv, RideSpec());
+  ASSERT_TRUE(tuples.ok());
+  ASSERT_EQ(tuples->size(), 3u);
+  EXPECT_EQ((*tuples)[0].event_time(), 100);
+  EXPECT_EQ((*tuples)[2].field(1).AsString(), "a");
+}
+
+TEST(ParseTraceTest, NoHeaderMode) {
+  TraceSpec spec = RideSpec();
+  spec.has_header = false;
+  auto tuples = ParseTrace("100,a,1.0\n", spec);
+  ASSERT_TRUE(tuples.ok());
+  EXPECT_EQ(tuples->size(), 1u);
+}
+
+TEST(ParseTraceTest, CrLfAndBlankLinesHandled) {
+  const std::string csv = "time,route,fare\r\n100,a,1.0\r\n\r\n200,b,2.0\r\n";
+  auto tuples = ParseTrace(csv, RideSpec());
+  ASSERT_TRUE(tuples.ok());
+  EXPECT_EQ(tuples->size(), 2u);
+}
+
+TEST(ParseTraceTest, BadRowFailsWithLineNumber) {
+  auto tuples = ParseTrace("time,route,fare\n100,a,1.0\nbad,row\n",
+                           RideSpec());
+  ASSERT_FALSE(tuples.ok());
+  EXPECT_NE(tuples.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ParseTraceTest, SkipBadRowsMode) {
+  TraceSpec spec = RideSpec();
+  spec.skip_bad_rows = true;
+  auto tuples =
+      ParseTrace("time,route,fare\n100,a,1.0\nbad,row\n200,b,2.0\n", spec);
+  ASSERT_TRUE(tuples.ok());
+  EXPECT_EQ(tuples->size(), 2u);
+}
+
+TEST(ParseTraceTest, CustomDelimiter) {
+  TraceSpec spec = RideSpec();
+  spec.delimiter = '\t';
+  auto tuples = ParseTrace("time\troute\tfare\n100\ta\t1.0\n", spec);
+  ASSERT_TRUE(tuples.ok());
+  EXPECT_EQ(tuples->size(), 1u);
+}
+
+TEST(LoadTraceTest, MissingFileIsIOError) {
+  EXPECT_TRUE(
+      LoadTrace("/nonexistent/trace.csv", RideSpec()).status().IsIOError());
+}
+
+TEST(LoadTraceTest, RoundTripThroughFile) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("spear-trace-" + std::to_string(::getpid()) + ".csv");
+  {
+    std::ofstream out(path);
+    out << "time,route,fare\n100,a,1.5\n200,b,2.5\n";
+  }
+  auto tuples = LoadTrace(path.string(), RideSpec());
+  std::filesystem::remove(path);
+  ASSERT_TRUE(tuples.ok());
+  ASSERT_EQ(tuples->size(), 2u);
+  EXPECT_DOUBLE_EQ((*tuples)[1].field(2).AsDouble(), 2.5);
+}
+
+}  // namespace
+}  // namespace spear

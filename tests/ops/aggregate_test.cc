@@ -1,0 +1,83 @@
+#include "ops/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spear {
+namespace {
+
+TEST(AggregateSpecTest, HolisticClassification) {
+  EXPECT_TRUE(AggregateSpec::Percentile(0.95).IsHolistic());
+  EXPECT_TRUE(AggregateSpec::Median().IsHolistic());
+  EXPECT_FALSE(AggregateSpec::Mean().IsHolistic());
+  EXPECT_FALSE(AggregateSpec::Count().IsHolistic());
+  EXPECT_TRUE(AggregateSpec::Sum().IsIncremental());
+}
+
+TEST(AggregateSpecTest, ToString) {
+  EXPECT_EQ(AggregateSpec::Mean().ToString(), "mean");
+  EXPECT_EQ(AggregateSpec::Percentile(0.95).ToString().substr(0, 11),
+            "percentile(");
+}
+
+TEST(EvaluateExactTest, EmptyInvalid) {
+  EXPECT_TRUE(EvaluateExact(AggregateSpec::Mean(), {}).status().IsInvalid());
+}
+
+TEST(EvaluateExactTest, AllKindsOnKnownData) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(*EvaluateExact(AggregateSpec::Count(), v), 8.0);
+  EXPECT_DOUBLE_EQ(*EvaluateExact(AggregateSpec::Sum(), v), 40.0);
+  EXPECT_DOUBLE_EQ(*EvaluateExact(AggregateSpec::Mean(), v), 5.0);
+  EXPECT_NEAR(*EvaluateExact(AggregateSpec::Variance(), v), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(*EvaluateExact(AggregateSpec::StdDev(), v),
+              std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(*EvaluateExact(AggregateSpec::Min(), v), 2.0);
+  EXPECT_DOUBLE_EQ(*EvaluateExact(AggregateSpec::Max(), v), 9.0);
+  EXPECT_DOUBLE_EQ(*EvaluateExact(AggregateSpec::Median(), v), 4.5);
+}
+
+TEST(EvaluateExactTest, PercentileMatchesQuantile) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_NEAR(*EvaluateExact(AggregateSpec::Percentile(0.95), v), 94.05,
+              1e-9);
+}
+
+TEST(EvaluateFromStatsTest, MatchesExactForNonHolistic) {
+  const std::vector<double> v{1.5, 2.5, 3.5, 10.0};
+  RunningStats stats;
+  for (double x : v) stats.Update(x);
+  for (auto spec : {AggregateSpec::Count(), AggregateSpec::Sum(),
+                    AggregateSpec::Mean(), AggregateSpec::Variance(),
+                    AggregateSpec::StdDev(), AggregateSpec::Min(),
+                    AggregateSpec::Max()}) {
+    EXPECT_DOUBLE_EQ(*EvaluateFromStats(spec, stats),
+                     *EvaluateExact(spec, v))
+        << spec.ToString();
+  }
+}
+
+TEST(EvaluateFromStatsTest, HolisticRejected) {
+  RunningStats stats;
+  stats.Update(1.0);
+  EXPECT_TRUE(EvaluateFromStats(AggregateSpec::Median(), stats)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(EvaluateFromStatsTest, EmptyStatsInvalid) {
+  RunningStats stats;
+  EXPECT_TRUE(
+      EvaluateFromStats(AggregateSpec::Mean(), stats).status().IsInvalid());
+}
+
+TEST(AggregateKindNameTest, AllNamed) {
+  EXPECT_STREQ(AggregateKindName(AggregateKind::kCount), "count");
+  EXPECT_STREQ(AggregateKindName(AggregateKind::kPercentile), "percentile");
+  EXPECT_STREQ(AggregateKindName(AggregateKind::kStdDev), "stddev");
+}
+
+}  // namespace
+}  // namespace spear

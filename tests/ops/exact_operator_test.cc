@@ -1,0 +1,85 @@
+#include "ops/exact_operator.h"
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+CompleteWindow MakeWindow(std::vector<std::pair<std::string, double>> rows) {
+  CompleteWindow w;
+  w.bounds = WindowBounds{0, 100};
+  for (auto& [key, value] : rows) {
+    w.tuples.emplace_back(
+        1, std::vector<Value>{Value(key), Value(value)});
+  }
+  return w;
+}
+
+TEST(ExactOperatorTest, ScalarMean) {
+  ExactWindowOperator op(AggregateSpec::Mean(), NumericField(1));
+  auto result = op.Process(MakeWindow({{"a", 2.0}, {"b", 4.0}, {"c", 6.0}}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->is_grouped);
+  EXPECT_FALSE(result->approximate);
+  EXPECT_DOUBLE_EQ(result->scalar, 4.0);
+  EXPECT_EQ(result->window_size, 3u);
+  EXPECT_EQ(result->tuples_processed, 3u);
+}
+
+TEST(ExactOperatorTest, ScalarMedian) {
+  ExactWindowOperator op(AggregateSpec::Median(), NumericField(1));
+  auto result =
+      op.Process(MakeWindow({{"a", 9.0}, {"b", 1.0}, {"c", 5.0}}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->scalar, 5.0);
+}
+
+TEST(ExactOperatorTest, EmptyWindowInvalid) {
+  ExactWindowOperator op(AggregateSpec::Mean(), NumericField(1));
+  CompleteWindow w;
+  w.bounds = WindowBounds{0, 10};
+  EXPECT_TRUE(op.Process(w).status().IsInvalid());
+}
+
+TEST(ExactOperatorTest, GroupedMeanAllGroupsSorted) {
+  ExactWindowOperator op(AggregateSpec::Mean(), NumericField(1), KeyField(0));
+  auto result = op.Process(MakeWindow(
+      {{"b", 10.0}, {"a", 2.0}, {"b", 20.0}, {"c", 7.0}, {"a", 4.0}}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->is_grouped);
+  ASSERT_EQ(result->groups.size(), 3u);
+  EXPECT_EQ(result->groups[0].first, "a");
+  EXPECT_DOUBLE_EQ(result->groups[0].second, 3.0);
+  EXPECT_EQ(result->groups[1].first, "b");
+  EXPECT_DOUBLE_EQ(result->groups[1].second, 15.0);
+  EXPECT_EQ(result->groups[2].first, "c");
+  EXPECT_DOUBLE_EQ(result->groups[2].second, 7.0);
+}
+
+TEST(ExactOperatorTest, GroupedPercentile) {
+  ExactWindowOperator op(AggregateSpec::Median(), NumericField(1),
+                         KeyField(0));
+  auto result = op.Process(
+      MakeWindow({{"a", 1.0}, {"a", 2.0}, {"a", 3.0}, {"b", 10.0}}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->groups[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(result->groups[1].second, 10.0);
+}
+
+TEST(ExactOperatorTest, SingletonGroupsHandled) {
+  ExactWindowOperator op(AggregateSpec::Variance(), NumericField(1),
+                         KeyField(0));
+  auto result = op.Process(MakeWindow({{"solo", 5.0}}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->groups[0].second, 0.0);
+}
+
+TEST(ExactOperatorTest, ResultToStringMentionsBounds) {
+  ExactWindowOperator op(AggregateSpec::Mean(), NumericField(1));
+  auto result = op.Process(MakeWindow({{"a", 2.0}}));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->ToString().find("[0, 100)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,108 @@
+#include "ops/incremental_operator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ops/exact_operator.h"
+#include "window/single_buffer_manager.h"
+
+namespace spear {
+namespace {
+
+Tuple T(Timestamp t, double v) { return Tuple(t, {Value(v)}); }
+Tuple KT(Timestamp t, const std::string& k, double v) {
+  return Tuple(t, {Value(k), Value(v)});
+}
+
+TEST(IncrementalOperatorTest, ScalarMeanPerWindow) {
+  IncrementalOperator op(AggregateSpec::Mean(), WindowSpec::TumblingTime(10),
+                         NumericField(0));
+  op.OnTuple(1, T(1, 2.0));
+  op.OnTuple(5, T(5, 4.0));
+  op.OnTuple(12, T(12, 100.0));
+  auto results = op.OnWatermark(10);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_DOUBLE_EQ((*results)[0].scalar, 3.0);
+  EXPECT_EQ((*results)[0].window_size, 2u);
+  EXPECT_EQ((*results)[0].tuples_processed, 0u);  // no watermark-time work
+}
+
+TEST(IncrementalOperatorTest, SlidingWindowsEachGetTheTuple) {
+  IncrementalOperator op(AggregateSpec::Sum(), WindowSpec::SlidingTime(15, 5),
+                         NumericField(0));
+  op.OnTuple(61, T(61, 10.0));
+  auto results = op.OnWatermark(100);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 3u);
+  for (const auto& r : *results) EXPECT_DOUBLE_EQ(r.scalar, 10.0);
+}
+
+TEST(IncrementalOperatorTest, GroupedMean) {
+  IncrementalOperator op(AggregateSpec::Mean(), WindowSpec::TumblingTime(10),
+                         NumericField(1), KeyField(0));
+  op.OnTuple(1, KT(1, "a", 2.0));
+  op.OnTuple(2, KT(2, "a", 4.0));
+  op.OnTuple(3, KT(3, "b", 9.0));
+  auto results = op.OnWatermark(10);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  const auto& groups = (*results)[0].groups;
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].first, "a");
+  EXPECT_DOUBLE_EQ(groups[0].second, 3.0);
+  EXPECT_DOUBLE_EQ(groups[1].second, 9.0);
+}
+
+TEST(IncrementalOperatorTest, LateTuplesDropped) {
+  IncrementalOperator op(AggregateSpec::Count(), WindowSpec::TumblingTime(10),
+                         NumericField(0));
+  (void)op.OnWatermark(10);
+  op.OnTuple(5, T(5, 1.0));
+  EXPECT_EQ(op.late_tuples(), 1u);
+  EXPECT_EQ(op.active_windows(), 0u);
+}
+
+TEST(IncrementalOperatorTest, StateEvictedAfterEmission) {
+  IncrementalOperator op(AggregateSpec::Mean(), WindowSpec::TumblingTime(10),
+                         NumericField(0));
+  op.OnTuple(5, T(5, 1.0));
+  EXPECT_EQ(op.active_windows(), 1u);
+  (void)op.OnWatermark(10);
+  EXPECT_EQ(op.active_windows(), 0u);
+}
+
+TEST(IncrementalOperatorTest, MatchesExactOperatorOnRandomStream) {
+  const WindowSpec window = WindowSpec::SlidingTime(20, 10);
+  IncrementalOperator inc(AggregateSpec::Mean(), window, NumericField(0));
+  SingleBufferWindowManager buffer(window);
+  ExactWindowOperator exact(AggregateSpec::Mean(), NumericField(0));
+
+  Rng rng(7);
+  for (Timestamp t = 0; t < 500; ++t) {
+    const double v = rng.NextDouble() * 50.0;
+    inc.OnTuple(t, T(t, v));
+    buffer.OnTuple(t, T(t, v));
+  }
+  auto inc_results = inc.OnWatermark(480);
+  auto staged = buffer.OnWatermark(480);
+  ASSERT_TRUE(inc_results.ok());
+  ASSERT_TRUE(staged.ok());
+  ASSERT_EQ(inc_results->size(), staged->size());
+  for (std::size_t i = 0; i < staged->size(); ++i) {
+    auto exact_result = exact.Process((*staged)[i]);
+    ASSERT_TRUE(exact_result.ok());
+    EXPECT_EQ((*inc_results)[i].bounds, exact_result->bounds);
+    EXPECT_NEAR((*inc_results)[i].scalar, exact_result->scalar, 1e-9);
+  }
+}
+
+TEST(IncrementalOperatorTest, HolisticRejectedAtConstruction) {
+  EXPECT_DEATH(
+      IncrementalOperator(AggregateSpec::Median(),
+                          WindowSpec::TumblingTime(10), NumericField(0)),
+      "IsIncremental");
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,59 @@
+#include "runtime/common_bolts.h"
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+class CollectingEmitter : public Emitter {
+ public:
+  void Emit(Tuple tuple) override { tuples.push_back(std::move(tuple)); }
+  std::vector<Tuple> tuples;
+};
+
+TEST(MapBoltTest, TransformsEveryTuple) {
+  MapBolt bolt([](const Tuple& t) {
+    Tuple out = t;
+    out.field(0) = Value(t.field(0).AsDouble() * 2.0);
+    return out;
+  });
+  CollectingEmitter out;
+  ASSERT_TRUE(bolt.Execute(Tuple(1, {Value(3.0)}), &out).ok());
+  ASSERT_TRUE(bolt.Execute(Tuple(2, {Value(5.0)}), &out).ok());
+  ASSERT_EQ(out.tuples.size(), 2u);
+  EXPECT_DOUBLE_EQ(out.tuples[0].field(0).AsDouble(), 6.0);
+  EXPECT_DOUBLE_EQ(out.tuples[1].field(0).AsDouble(), 10.0);
+}
+
+TEST(FilterBoltTest, DropsNonMatching) {
+  FilterBolt bolt([](const Tuple& t) { return t.field(0).AsDouble() > 1.0; });
+  CollectingEmitter out;
+  ASSERT_TRUE(bolt.Execute(Tuple(1, {Value(0.5)}), &out).ok());
+  ASSERT_TRUE(bolt.Execute(Tuple(2, {Value(1.5)}), &out).ok());
+  ASSERT_EQ(out.tuples.size(), 1u);
+  EXPECT_EQ(out.tuples[0].event_time(), 2);
+}
+
+TEST(TimeAssignBoltTest, AnnotatesEventTimeFromField) {
+  TimeAssignBolt bolt(/*time_field=*/1);
+  CollectingEmitter out;
+  ASSERT_TRUE(
+      bolt.Execute(Tuple(0, {Value("x"), Value(std::int64_t{777})}), &out)
+          .ok());
+  ASSERT_EQ(out.tuples.size(), 1u);
+  EXPECT_EQ(out.tuples[0].event_time(), 777);
+  // Payload untouched.
+  EXPECT_EQ(out.tuples[0].field(0).AsString(), "x");
+}
+
+TEST(DefaultBoltCallbacks, WatermarkAndFinishAreNoops) {
+  MapBolt bolt([](const Tuple& t) { return t; });
+  CollectingEmitter out;
+  EXPECT_TRUE(bolt.OnWatermark(100, &out).ok());
+  EXPECT_TRUE(bolt.Finish(&out).ok());
+  EXPECT_TRUE(out.tuples.empty());
+  EXPECT_TRUE(bolt.Prepare(BoltContext{}).ok());
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,93 @@
+#include "runtime/gk_quantile_bolt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace spear {
+namespace {
+
+class CollectingEmitter : public Emitter {
+ public:
+  void Emit(Tuple tuple) override { tuples.push_back(std::move(tuple)); }
+  std::vector<Tuple> tuples;
+};
+
+Tuple VT(Timestamp t, double v) { return Tuple(t, {Value(v)}); }
+
+TEST(GkQuantileBoltTest, MedianWithinDeterministicRankError) {
+  GkQuantileBolt bolt(WindowSpec::TumblingTime(1000), NumericField(0), 0.5,
+                      0.05);
+  ASSERT_TRUE(bolt.Prepare(BoltContext{}).ok());
+  CollectingEmitter out;
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble() * 1000.0;
+    values.push_back(v);
+    ASSERT_TRUE(bolt.Execute(VT(i % 1000, v), &out).ok());
+  }
+  ASSERT_TRUE(bolt.OnWatermark(1000, &out).ok());
+  ASSERT_EQ(out.tuples.size(), 1u);
+  const double estimate =
+      out.tuples[0].field(ResultTupleLayout::kScalarValue).AsDouble();
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<double>(
+                        std::upper_bound(values.begin(), values.end(),
+                                         estimate) -
+                        values.begin()) /
+                    static_cast<double>(values.size());
+  EXPECT_NEAR(rank, 0.5, 0.05 + 1e-3);
+  EXPECT_EQ(out.tuples[0].field(ResultTupleLayout::kScalarApprox).AsInt64(),
+            1);
+}
+
+TEST(GkQuantileBoltTest, SlidingWindowsEachGetASketch) {
+  GkQuantileBolt bolt(WindowSpec::SlidingTime(300, 100), NumericField(0),
+                      0.5, 0.1);
+  ASSERT_TRUE(bolt.Prepare(BoltContext{}).ok());
+  CollectingEmitter out;
+  for (int t = 0; t < 1000; ++t) {
+    ASSERT_TRUE(bolt.Execute(VT(t, 7.0), &out).ok());
+  }
+  ASSERT_TRUE(bolt.OnWatermark(1000, &out).ok());
+  EXPECT_GT(out.tuples.size(), 5u);
+  for (const Tuple& t : out.tuples) {
+    EXPECT_DOUBLE_EQ(t.field(ResultTupleLayout::kScalarValue).AsDouble(),
+                     7.0);
+  }
+}
+
+TEST(GkQuantileBoltTest, CountWindows) {
+  GkQuantileBolt bolt(WindowSpec::TumblingCount(100), NumericField(0), 0.5,
+                      0.1);
+  ASSERT_TRUE(bolt.Prepare(BoltContext{}).ok());
+  CollectingEmitter out;
+  for (int i = 0; i < 250; ++i) {
+    ASSERT_TRUE(bolt.Execute(VT(i, i % 100), &out).ok());
+  }
+  EXPECT_EQ(out.tuples.size(), 2u);  // two complete count-100 windows
+}
+
+TEST(GkQuantileBoltTest, MemoryBoundedBySummary) {
+  WorkerMetrics metrics("gk", 0);
+  BoltContext ctx;
+  ctx.metrics = &metrics;
+  GkQuantileBolt bolt(WindowSpec::TumblingTime(1000), NumericField(0), 0.5,
+                      0.05);
+  ASSERT_TRUE(bolt.Prepare(ctx).ok());
+  CollectingEmitter out;
+  Rng rng(2);
+  for (int i = 0; i < 50000; ++i) {
+    ASSERT_TRUE(bolt.Execute(VT(i % 1000, rng.NextDouble()), &out).ok());
+  }
+  ASSERT_TRUE(bolt.OnWatermark(1000, &out).ok());
+  // Summary memory must be far below the 50K-value window.
+  EXPECT_LT(metrics.MemorySummary().max,
+            static_cast<std::int64_t>(50000 * sizeof(double) / 10));
+}
+
+}  // namespace
+}  // namespace spear

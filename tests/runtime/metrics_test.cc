@@ -1,0 +1,91 @@
+#include "runtime/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+TEST(MetricSummaryTest, EmptySamples) {
+  const MetricSummary s = MetricSummary::FromSamples({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(MetricSummaryTest, SingleSample) {
+  const MetricSummary s = MetricSummary::FromSamples({42});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_EQ(s.min, 42);
+  EXPECT_EQ(s.max, 42);
+  EXPECT_EQ(s.p50, 42);
+  EXPECT_EQ(s.p95, 42);
+}
+
+TEST(MetricSummaryTest, PercentilesOfRange) {
+  std::vector<std::int64_t> samples;
+  for (int i = 1; i <= 100; ++i) samples.push_back(i);
+  const MetricSummary s = MetricSummary::FromSamples(std::move(samples));
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 100);
+  EXPECT_NEAR(static_cast<double>(s.p50), 50.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(s.p95), 95.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(s.p99), 99.0, 1.0);
+}
+
+TEST(MetricSummaryTest, UnsortedInputHandled) {
+  const MetricSummary s = MetricSummary::FromSamples({5, 1, 9, 3});
+  EXPECT_EQ(s.min, 1);
+  EXPECT_EQ(s.max, 9);
+}
+
+TEST(WorkerMetricsTest, CountersAccumulate) {
+  WorkerMetrics m("stage", 3);
+  m.AddTuplesIn(10);
+  m.AddTuplesIn(5);
+  m.AddTuplesOut(2);
+  m.AddBusyNs(100);
+  m.RecordWindowNs(1000);
+  m.RecordWindowNs(3000);
+  m.RecordMemoryBytes(64);
+  EXPECT_EQ(m.stage(), "stage");
+  EXPECT_EQ(m.task_id(), 3);
+  EXPECT_EQ(m.tuples_in(), 15u);
+  EXPECT_EQ(m.tuples_out(), 2u);
+  EXPECT_EQ(m.busy_ns(), 100);
+  EXPECT_DOUBLE_EQ(m.WindowSummary().mean, 2000.0);
+  EXPECT_DOUBLE_EQ(m.MemorySummary().mean, 64.0);
+}
+
+TEST(MetricsRegistryTest, StagePooling) {
+  MetricsRegistry registry;
+  WorkerMetrics* a = registry.Register("stateful", 0);
+  WorkerMetrics* b = registry.Register("stateful", 1);
+  WorkerMetrics* other = registry.Register("sink", 0);
+  a->RecordWindowNs(100);
+  b->RecordWindowNs(300);
+  other->RecordWindowNs(999999);
+
+  const MetricSummary pooled = registry.StageWindowSummary("stateful");
+  EXPECT_EQ(pooled.count, 2u);
+  EXPECT_DOUBLE_EQ(pooled.mean, 200.0);
+  EXPECT_EQ(registry.ForStage("stateful").size(), 2u);
+  EXPECT_EQ(registry.ForStage("sink").size(), 1u);
+  EXPECT_EQ(registry.ForStage("missing").size(), 0u);
+}
+
+TEST(MetricsRegistryTest, MeanMemoryPerWorker) {
+  MetricsRegistry registry;
+  WorkerMetrics* a = registry.Register("s", 0);
+  WorkerMetrics* b = registry.Register("s", 1);
+  a->RecordMemoryBytes(100);
+  a->RecordMemoryBytes(200);
+  b->RecordMemoryBytes(400);
+  // Worker a averages 150, worker b averages 400 -> mean across = 275.
+  EXPECT_DOUBLE_EQ(registry.StageMeanMemoryPerWorker("s"), 275.0);
+  EXPECT_DOUBLE_EQ(registry.StageMeanMemoryPerWorker("none"), 0.0);
+}
+
+}  // namespace
+}  // namespace spear

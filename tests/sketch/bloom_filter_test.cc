@@ -1,0 +1,66 @@
+#include "sketch/bloom_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+TEST(BloomFilterTest, MakeValidates) {
+  EXPECT_TRUE(BloomFilter::Make(0, 0.01).status().IsInvalid());
+  EXPECT_TRUE(BloomFilter::Make(100, 0.0).status().IsInvalid());
+  EXPECT_TRUE(BloomFilter::Make(100, 1.0).status().IsInvalid());
+  EXPECT_TRUE(BloomFilter::Make(100, 0.01).ok());
+}
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  auto bloom = BloomFilter::Make(10000, 0.01);
+  for (int i = 0; i < 10000; ++i) {
+    bloom->Add("key" + std::to_string(i));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(bloom->MayContain("key" + std::to_string(i))) << i;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateNearTarget) {
+  constexpr double kTarget = 0.01;
+  auto bloom = BloomFilter::Make(10000, kTarget);
+  for (int i = 0; i < 10000; ++i) {
+    bloom->Add("in" + std::to_string(i));
+  }
+  int false_positives = 0;
+  constexpr int kProbes = 20000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (bloom->MayContain("out" + std::to_string(i))) ++false_positives;
+  }
+  const double rate = static_cast<double>(false_positives) / kProbes;
+  EXPECT_LT(rate, kTarget * 3.0);
+  EXPECT_NEAR(bloom->EstimatedFpRate(), kTarget, kTarget);
+}
+
+TEST(BloomFilterTest, EmptyContainsNothing) {
+  auto bloom = BloomFilter::Make(100, 0.01);
+  EXPECT_FALSE(bloom->MayContain("anything"));
+  EXPECT_DOUBLE_EQ(bloom->EstimatedFpRate(), 0.0);
+}
+
+TEST(BloomFilterTest, GeometryScalesWithFpRate) {
+  auto loose = BloomFilter::Make(1000, 0.1);
+  auto tight = BloomFilter::Make(1000, 0.001);
+  EXPECT_GT(tight->bit_count(), loose->bit_count());
+  EXPECT_GT(tight->hash_count(), loose->hash_count());
+}
+
+TEST(BloomFilterTest, SeedsChangeBitPatterns) {
+  auto a = BloomFilter::Make(100, 0.01, 1);
+  auto b = BloomFilter::Make(100, 0.01, 2);
+  a->Add("x");
+  // With a different seed, "y" colliding on all k bits of "x" under both
+  // filters is vanishingly unlikely; just sanity-check independence.
+  b->Add("x");
+  EXPECT_TRUE(a->MayContain("x"));
+  EXPECT_TRUE(b->MayContain("x"));
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,123 @@
+#include "sketch/gk_quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/quantile.h"
+
+namespace spear {
+namespace {
+
+TEST(GkQuantileTest, MakeValidatesEpsilon) {
+  EXPECT_TRUE(GkQuantileSketch::Make(0.0).status().IsInvalid());
+  EXPECT_TRUE(GkQuantileSketch::Make(1.0).status().IsInvalid());
+  EXPECT_TRUE(GkQuantileSketch::Make(0.01).ok());
+}
+
+TEST(GkQuantileTest, EmptyQuantileInvalid) {
+  auto gk = GkQuantileSketch::Make(0.1);
+  EXPECT_TRUE(gk->Quantile(0.5).status().IsInvalid());
+}
+
+TEST(GkQuantileTest, PhiValidated) {
+  auto gk = GkQuantileSketch::Make(0.1);
+  gk->Add(1.0);
+  EXPECT_TRUE(gk->Quantile(-0.1).status().IsInvalid());
+  EXPECT_TRUE(gk->Quantile(1.1).status().IsInvalid());
+}
+
+TEST(GkQuantileTest, SingleElement) {
+  auto gk = GkQuantileSketch::Make(0.1);
+  gk->Add(42.0);
+  EXPECT_DOUBLE_EQ(*gk->Quantile(0.5), 42.0);
+  EXPECT_EQ(gk->count(), 1u);
+}
+
+TEST(GkQuantileTest, ExactForSmallStreams) {
+  auto gk = GkQuantileSketch::Make(0.05);
+  for (int i = 1; i <= 10; ++i) gk->Add(i);
+  // With 10 elements and eps=0.05 the allowed rank slack is 0.5 — the
+  // answer must be within one position.
+  const double median = *gk->Quantile(0.5);
+  EXPECT_GE(median, 5.0);
+  EXPECT_LE(median, 6.0);
+}
+
+/// Rank-error guarantee on large streams across epsilons and orders.
+class GkRankErrorSweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(GkRankErrorSweep, RankErrorWithinEpsilon) {
+  const auto [epsilon, order] = GetParam();
+  auto gk = GkQuantileSketch::Make(epsilon);
+  constexpr int kN = 50000;
+  Rng rng(static_cast<std::uint64_t>(order) + 7);
+
+  std::vector<double> values;
+  values.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    double v;
+    switch (order) {
+      case 0:  // ascending
+        v = i;
+        break;
+      case 1:  // descending
+        v = kN - i;
+        break;
+      default:  // random, heavy-tailed
+        v = std::exp(rng.NextGaussian() * 2.0);
+    }
+    values.push_back(v);
+    gk->Add(v);
+  }
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (double phi : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double estimate = *gk->Quantile(phi);
+    const double rank = RankOf(sorted, estimate);
+    EXPECT_NEAR(rank, phi, epsilon + 1.0 / kN)
+        << "phi=" << phi << " order=" << order;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GkRankErrorSweep,
+    ::testing::Combine(::testing::Values(0.01, 0.05, 0.1),
+                       ::testing::Values(0, 1, 2)));
+
+TEST(GkQuantileTest, SummaryMuchSmallerThanStream) {
+  auto gk = GkQuantileSketch::Make(0.01);
+  for (int i = 0; i < 100000; ++i) gk->Add(std::sin(i * 0.01) * 1000.0);
+  EXPECT_EQ(gk->count(), 100000u);
+  // O((1/eps) log(eps n)) ~ a few hundred entries at eps=1%.
+  EXPECT_LT(gk->summary_size(), 2000u);
+  EXPECT_LT(gk->MemoryBytes(), 100000u * sizeof(double) / 10);
+}
+
+TEST(GkQuantileTest, SummarySizeShrinksWithLargerEpsilon) {
+  auto tight = GkQuantileSketch::Make(0.01);
+  auto loose = GkQuantileSketch::Make(0.1);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.NextDouble();
+    tight->Add(v);
+    loose->Add(v);
+  }
+  EXPECT_LT(loose->summary_size(), tight->summary_size());
+}
+
+TEST(GkQuantileTest, ResetClears) {
+  auto gk = GkQuantileSketch::Make(0.1);
+  for (int i = 0; i < 100; ++i) gk->Add(i);
+  gk->Reset();
+  EXPECT_EQ(gk->count(), 0u);
+  EXPECT_TRUE(gk->Quantile(0.5).status().IsInvalid());
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,83 @@
+#include "sketch/hyperloglog.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spear {
+namespace {
+
+TEST(HyperLogLogTest, PrecisionValidated) {
+  EXPECT_TRUE(HyperLogLog::Make(3).status().IsInvalid());
+  EXPECT_TRUE(HyperLogLog::Make(19).status().IsInvalid());
+  EXPECT_TRUE(HyperLogLog::Make(12).ok());
+}
+
+TEST(HyperLogLogTest, EmptyEstimatesNearZero) {
+  auto hll = HyperLogLog::Make(12);
+  ASSERT_TRUE(hll.ok());
+  EXPECT_LT(hll->Estimate(), 1.0);
+}
+
+TEST(HyperLogLogTest, SmallCardinalityViaLinearCounting) {
+  auto hll = HyperLogLog::Make(12);
+  ASSERT_TRUE(hll.ok());
+  for (int i = 0; i < 100; ++i) hll->AddInt64(i);
+  EXPECT_NEAR(hll->Estimate(), 100.0, 5.0);
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotInflate) {
+  auto hll = HyperLogLog::Make(12);
+  ASSERT_TRUE(hll.ok());
+  for (int rep = 0; rep < 100; ++rep) {
+    for (int i = 0; i < 50; ++i) hll->Add("key" + std::to_string(i));
+  }
+  EXPECT_NEAR(hll->Estimate(), 50.0, 4.0);
+}
+
+class HllAccuracySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HllAccuracySweep, WithinStandardErrorBudget) {
+  const int n = GetParam();
+  auto hll = HyperLogLog::Make(14);
+  ASSERT_TRUE(hll.ok());
+  for (int i = 0; i < n; ++i) hll->AddInt64(i * 2654435761LL);
+  // Standard error ~= 1.04/sqrt(2^14) ~ 0.8%; allow 4 sigma.
+  EXPECT_NEAR(hll->Estimate(), static_cast<double>(n),
+              std::max(4.0 * 0.0082 * n, 10.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllAccuracySweep,
+                         ::testing::Values(1000, 10000, 100000, 500000));
+
+TEST(HyperLogLogTest, MergeUnionsDistinctSets) {
+  auto a = HyperLogLog::Make(13);
+  auto b = HyperLogLog::Make(13);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int i = 0; i < 5000; ++i) a->AddInt64(i);
+  for (int i = 2500; i < 7500; ++i) b->AddInt64(i);
+  ASSERT_TRUE(a->Merge(*b).ok());
+  EXPECT_NEAR(a->Estimate(), 7500.0, 400.0);
+}
+
+TEST(HyperLogLogTest, MergePrecisionMismatchRejected) {
+  auto a = HyperLogLog::Make(12);
+  auto b = HyperLogLog::Make(13);
+  EXPECT_TRUE(a->Merge(*b).IsInvalid());
+}
+
+TEST(HyperLogLogTest, ResetZeroes) {
+  auto hll = HyperLogLog::Make(12);
+  for (int i = 0; i < 1000; ++i) hll->AddInt64(i);
+  hll->Reset();
+  EXPECT_LT(hll->Estimate(), 1.0);
+}
+
+TEST(HyperLogLogTest, MemoryIsRegisterArray) {
+  auto hll = HyperLogLog::Make(10);
+  EXPECT_EQ(hll->MemoryBytes(), 1024u);
+}
+
+}  // namespace
+}  // namespace spear

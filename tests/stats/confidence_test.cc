@@ -1,0 +1,144 @@
+#include "stats/confidence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "stats/running_stats.h"
+
+namespace spear {
+namespace {
+
+TEST(NormalDeviateTest, TabulatedValues) {
+  // The paper quotes 1.96 for 95% and 2.58 for 99%.
+  EXPECT_NEAR(*NormalDeviate(0.95), 1.959964, 1e-4);
+  EXPECT_NEAR(*NormalDeviate(0.99), 2.575829, 1e-4);
+  EXPECT_NEAR(*NormalDeviate(0.90), 1.644854, 1e-4);
+  EXPECT_NEAR(*NormalDeviate(0.50), 0.674490, 1e-4);
+}
+
+TEST(NormalDeviateTest, InvalidConfidenceRejected) {
+  EXPECT_TRUE(NormalDeviate(0.0).status().IsInvalid());
+  EXPECT_TRUE(NormalDeviate(1.0).status().IsInvalid());
+  EXPECT_TRUE(NormalDeviate(-0.5).status().IsInvalid());
+  EXPECT_TRUE(NormalDeviate(1.5).status().IsInvalid());
+}
+
+TEST(InverseNormalCdfTest, SymmetryAndMedian) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.975), -InverseNormalCdf(0.025), 1e-9);
+}
+
+TEST(InverseNormalCdfTest, TailValues) {
+  EXPECT_NEAR(InverseNormalCdf(0.001), -3.0902, 1e-3);
+  EXPECT_NEAR(InverseNormalCdf(0.999), 3.0902, 1e-3);
+}
+
+TEST(MeanCiTest, DegenerateFullSample) {
+  // n == N: finite population correction kills the width.
+  auto ci = MeanConfidenceInterval(10.0, 5.0, 100, 100, 0.95);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_DOUBLE_EQ(ci->low, 10.0);
+  EXPECT_DOUBLE_EQ(ci->high, 10.0);
+  EXPECT_DOUBLE_EQ(ci->RelativeHalfWidth(), 0.0);
+}
+
+TEST(MeanCiTest, WidthMatchesFormula) {
+  const double s = 4.0;
+  const std::uint64_t n = 100, population = 10000;
+  auto ci = MeanConfidenceInterval(20.0, s, n, population, 0.95);
+  ASSERT_TRUE(ci.ok());
+  const double z = *NormalDeviate(0.95);
+  const double expected =
+      z * s / std::sqrt(100.0) * std::sqrt(1.0 - 100.0 / 10000.0);
+  EXPECT_NEAR(ci->HalfWidth(), expected, 1e-12);
+  EXPECT_NEAR(ci->RelativeHalfWidth(), expected / 20.0, 1e-12);
+}
+
+TEST(MeanCiTest, InvalidArguments) {
+  EXPECT_TRUE(MeanConfidenceInterval(1, 1, 0, 10, 0.95).status().IsInvalid());
+  EXPECT_TRUE(MeanConfidenceInterval(1, 1, 20, 10, 0.95).status().IsInvalid());
+  EXPECT_TRUE(MeanConfidenceInterval(1, -1, 5, 10, 0.95).status().IsInvalid());
+  EXPECT_TRUE(MeanConfidenceInterval(1, 1, 5, 10, 1.5).status().IsInvalid());
+}
+
+TEST(MeanCiTest, ZeroEstimateYieldsInfiniteRelativeWidth) {
+  auto ci = MeanConfidenceInterval(0.0, 2.0, 10, 1000, 0.95);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_TRUE(std::isinf(ci->RelativeHalfWidth()));
+}
+
+TEST(MeanCiTest, ZeroVarianceIsExact) {
+  auto ci = MeanConfidenceInterval(0.0, 0.0, 10, 1000, 0.95);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_DOUBLE_EQ(ci->RelativeHalfWidth(), 0.0);
+}
+
+TEST(SumCiTest, ScalesMeanByPopulation) {
+  auto mean_ci = MeanConfidenceInterval(2.0, 1.0, 50, 5000, 0.95);
+  auto sum_ci = SumConfidenceInterval(2.0, 1.0, 50, 5000, 0.95);
+  ASSERT_TRUE(mean_ci.ok());
+  ASSERT_TRUE(sum_ci.ok());
+  EXPECT_NEAR(sum_ci->estimate, 2.0 * 5000, 1e-9);
+  EXPECT_NEAR(sum_ci->HalfWidth(), mean_ci->HalfWidth() * 5000, 1e-6);
+  // Relative width is invariant under scaling.
+  EXPECT_NEAR(sum_ci->RelativeHalfWidth(), mean_ci->RelativeHalfWidth(),
+              1e-12);
+}
+
+TEST(MeanCiTest, HigherConfidenceWidensInterval) {
+  auto c90 = MeanConfidenceInterval(10, 3, 40, 4000, 0.90);
+  auto c99 = MeanConfidenceInterval(10, 3, 40, 4000, 0.99);
+  EXPECT_GT(c99->HalfWidth(), c90->HalfWidth());
+}
+
+TEST(MeanCiTest, LargerSampleNarrowsInterval) {
+  auto small = MeanConfidenceInterval(10, 3, 40, 4000, 0.95);
+  auto large = MeanConfidenceInterval(10, 3, 400, 4000, 0.95);
+  EXPECT_LT(large->HalfWidth(), small->HalfWidth());
+}
+
+/// Empirical coverage: the 95% CI of a sample mean should contain the
+/// true population mean in roughly 95% of trials.
+class CiCoverageSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CiCoverageSweep, CoverageNearNominal) {
+  const double confidence = GetParam();
+  constexpr int kTrials = 600;
+  constexpr std::uint64_t kPopulation = 20000;
+  constexpr std::uint64_t kSample = 200;
+
+  // Fixed skewed population.
+  Rng pop_rng(1234);
+  std::vector<double> population;
+  double true_mean = 0.0;
+  for (std::uint64_t i = 0; i < kPopulation; ++i) {
+    const double x = std::exp(pop_rng.NextGaussian());
+    population.push_back(x);
+    true_mean += x;
+  }
+  true_mean /= static_cast<double>(kPopulation);
+
+  int covered = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Rng rng(static_cast<std::uint64_t>(trial) + 555);
+    RunningStats stats;
+    for (std::uint64_t i = 0; i < kSample; ++i) {
+      stats.Update(population[rng.NextBounded(kPopulation)]);
+    }
+    auto ci = MeanConfidenceInterval(stats.mean(), stats.SampleStdDev(),
+                                     kSample, kPopulation, confidence);
+    ASSERT_TRUE(ci.ok());
+    if (true_mean >= ci->low && true_mean <= ci->high) ++covered;
+  }
+  const double coverage = static_cast<double>(covered) / kTrials;
+  // Normal approximation on skewed data: allow a few points of slack.
+  EXPECT_GT(coverage, confidence - 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, CiCoverageSweep,
+                         ::testing::Values(0.90, 0.95, 0.99));
+
+}  // namespace
+}  // namespace spear

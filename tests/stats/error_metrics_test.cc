@@ -1,0 +1,62 @@
+#include "stats/error_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spear {
+namespace {
+
+TEST(RelativeErrorTest, Basic) {
+  EXPECT_DOUBLE_EQ(RelativeError(11.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(9.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(10.0, 10.0), 0.0);
+}
+
+TEST(RelativeErrorTest, NegativeExact) {
+  EXPECT_DOUBLE_EQ(RelativeError(-11.0, -10.0), 0.1);
+}
+
+TEST(RelativeErrorTest, ZeroExact) {
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(RelativeError(1.0, 0.0)));
+}
+
+TEST(AggregateGroupErrorsTest, EmptyInvalid) {
+  EXPECT_TRUE(AggregateGroupErrors({}).status().IsInvalid());
+}
+
+TEST(AggregateGroupErrorsTest, L1IsMean) {
+  EXPECT_DOUBLE_EQ(*AggregateGroupErrors({0.1, 0.2, 0.3}, GroupErrorNorm::kL1),
+                   0.2);
+}
+
+TEST(AggregateGroupErrorsTest, L2IsRms) {
+  EXPECT_NEAR(*AggregateGroupErrors({0.3, 0.4}, GroupErrorNorm::kL2),
+              std::sqrt((0.09 + 0.16) / 2.0), 1e-12);
+}
+
+TEST(AggregateGroupErrorsTest, LInfIsMax) {
+  EXPECT_DOUBLE_EQ(
+      *AggregateGroupErrors({0.1, 0.5, 0.2}, GroupErrorNorm::kLInf), 0.5);
+}
+
+TEST(AggregateGroupErrorsTest, NormOrdering) {
+  // For any error vector: L1 <= L2 <= LInf.
+  const std::vector<double> errors{0.05, 0.1, 0.4, 0.02};
+  const double l1 = *AggregateGroupErrors(errors, GroupErrorNorm::kL1);
+  const double l2 = *AggregateGroupErrors(errors, GroupErrorNorm::kL2);
+  const double linf = *AggregateGroupErrors(errors, GroupErrorNorm::kLInf);
+  EXPECT_LE(l1, l2);
+  EXPECT_LE(l2, linf);
+}
+
+TEST(AggregateGroupErrorsTest, SingleGroupAllNormsAgree) {
+  for (auto norm : {GroupErrorNorm::kL1, GroupErrorNorm::kL2,
+                    GroupErrorNorm::kLInf}) {
+    EXPECT_DOUBLE_EQ(*AggregateGroupErrors({0.07}, norm), 0.07);
+  }
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,68 @@
+#include "stats/group_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+TEST(GroupStatsTrackerTest, TracksFrequenciesAndMoments) {
+  GroupStatsTracker tracker;
+  tracker.Update("a", 1.0);
+  tracker.Update("a", 3.0);
+  tracker.Update("b", 10.0);
+  EXPECT_EQ(tracker.num_groups(), 2u);
+  EXPECT_EQ(tracker.total_count(), 3u);
+  EXPECT_EQ(tracker.FrequencyOf("a"), 2u);
+  EXPECT_EQ(tracker.FrequencyOf("b"), 1u);
+  EXPECT_EQ(tracker.FrequencyOf("missing"), 0u);
+  EXPECT_DOUBLE_EQ(tracker.groups().at("a").mean(), 2.0);
+}
+
+TEST(GroupStatsTrackerTest, UnlimitedByDefault) {
+  GroupStatsTracker tracker;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_TRUE(tracker.Update("g" + std::to_string(i), 1.0));
+  }
+  EXPECT_FALSE(tracker.overflowed());
+  EXPECT_EQ(tracker.num_groups(), 10000u);
+}
+
+TEST(GroupStatsTrackerTest, OverflowOnCapacity) {
+  GroupStatsTracker tracker(2);
+  EXPECT_TRUE(tracker.Update("a", 1.0));
+  EXPECT_TRUE(tracker.Update("b", 1.0));
+  EXPECT_FALSE(tracker.Update("c", 1.0));  // third distinct group
+  EXPECT_TRUE(tracker.overflowed());
+  EXPECT_EQ(tracker.num_groups(), 2u);
+}
+
+TEST(GroupStatsTrackerTest, ExistingGroupsUpdateAfterOverflow) {
+  GroupStatsTracker tracker(1);
+  EXPECT_TRUE(tracker.Update("a", 1.0));
+  EXPECT_FALSE(tracker.Update("b", 1.0));
+  EXPECT_TRUE(tracker.Update("a", 5.0));  // existing group still tracked
+  EXPECT_EQ(tracker.FrequencyOf("a"), 2u);
+  EXPECT_TRUE(tracker.overflowed());  // overflow state is sticky
+}
+
+TEST(GroupStatsTrackerTest, ResetClearsEverything) {
+  GroupStatsTracker tracker(1);
+  tracker.Update("a", 1.0);
+  tracker.Update("b", 1.0);  // overflows
+  tracker.Reset();
+  EXPECT_FALSE(tracker.overflowed());
+  EXPECT_EQ(tracker.num_groups(), 0u);
+  EXPECT_EQ(tracker.total_count(), 0u);
+  EXPECT_TRUE(tracker.Update("b", 1.0));
+}
+
+TEST(GroupStatsTrackerTest, EstimatedBytesGrowWithGroups) {
+  GroupStatsTracker tracker;
+  tracker.Update("key-1", 1.0);
+  const std::size_t one = tracker.EstimatedBytes();
+  tracker.Update("key-2", 1.0);
+  EXPECT_GT(tracker.EstimatedBytes(), one);
+}
+
+}  // namespace
+}  // namespace spear

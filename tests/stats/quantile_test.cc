@@ -1,0 +1,113 @@
+#include "stats/quantile.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace spear {
+namespace {
+
+TEST(QuantileTest, EmptyInputIsInvalid) {
+  EXPECT_TRUE(ExactQuantile({}, 0.5).status().IsInvalid());
+  EXPECT_TRUE(SortedQuantile({}, 0.5).status().IsInvalid());
+}
+
+TEST(QuantileTest, PhiOutOfRangeIsInvalid) {
+  EXPECT_TRUE(ExactQuantile({1.0}, -0.1).status().IsInvalid());
+  EXPECT_TRUE(ExactQuantile({1.0}, 1.1).status().IsInvalid());
+}
+
+TEST(QuantileTest, SingleElement) {
+  for (double phi : {0.0, 0.25, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(*ExactQuantile({42.0}, phi), 42.0);
+  }
+}
+
+TEST(QuantileTest, MedianOddCount) {
+  EXPECT_DOUBLE_EQ(*ExactMedian({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(QuantileTest, MedianEvenCountInterpolates) {
+  EXPECT_DOUBLE_EQ(*ExactMedian({1.0, 2.0, 3.0, 4.0}), 2.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(*ExactQuantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(*ExactQuantile(v, 1.0), 9.0);
+}
+
+TEST(QuantileTest, KnownPercentile) {
+  // 0..99: p95 at position 0.95*99 = 94.05 -> 94 + 0.05*(95-94) = 94.05.
+  std::vector<double> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  EXPECT_NEAR(*ExactQuantile(v, 0.95), 94.05, 1e-9);
+}
+
+TEST(QuantileTest, UnsortedInputHandled) {
+  std::vector<double> v{9.0, 2.0, 7.0, 4.0, 1.0, 8.0, 3.0, 6.0, 5.0};
+  EXPECT_DOUBLE_EQ(*ExactQuantile(v, 0.5), 5.0);
+}
+
+TEST(QuantileTest, AgreesWithSortedQuantile) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 1001; ++i) v.push_back(rng.NextGaussian());
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (double phi : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(*ExactQuantile(v, phi), *SortedQuantile(sorted, phi))
+        << "phi=" << phi;
+  }
+}
+
+TEST(QuantileTest, InPlaceVariantMutatesButMatches) {
+  std::vector<double> v{4.0, 2.0, 8.0, 6.0};
+  std::vector<double> copy = v;
+  const double q = *ExactQuantileInPlace(&v, 0.5);
+  EXPECT_DOUBLE_EQ(q, *ExactQuantile(copy, 0.5));
+}
+
+TEST(QuantileTest, DuplicatesHandled) {
+  std::vector<double> v(50, 3.0);
+  v.insert(v.end(), 50, 7.0);
+  EXPECT_DOUBLE_EQ(*ExactQuantile(v, 0.25), 3.0);
+  EXPECT_DOUBLE_EQ(*ExactQuantile(v, 0.75), 7.0);
+}
+
+TEST(RankOfTest, BasicRanks) {
+  std::vector<double> sorted{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(RankOf(sorted, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(RankOf(sorted, 3.0), 0.6);  // 3 elements <= 3.0
+  EXPECT_DOUBLE_EQ(RankOf(sorted, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(RankOf(sorted, 9.0), 1.0);
+}
+
+TEST(RankOfTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(RankOf({}, 1.0), 0.0);
+}
+
+/// Property: quantiles are monotone in phi.
+class QuantileMonotoneSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantileMonotoneSweep, MonotoneInPhi) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> v;
+  const int n = 10 + static_cast<int>(rng.NextBounded(500));
+  for (int i = 0; i < n; ++i) v.push_back(rng.NextGaussian() * 10.0);
+  double prev = *ExactQuantile(v, 0.0);
+  for (double phi = 0.05; phi <= 1.0; phi += 0.05) {
+    const double q = *ExactQuantile(v, phi);
+    EXPECT_GE(q, prev) << "phi=" << phi;
+    prev = q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantileMonotoneSweep,
+                         ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,127 @@
+#include "stats/reservoir_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace spear {
+namespace {
+
+TEST(ReservoirSamplerTest, KeepsEverythingBelowCapacity) {
+  ReservoirSampler<int> s(10, 1);
+  for (int i = 0; i < 7; ++i) s.Offer(i);
+  EXPECT_EQ(s.sample().size(), 7u);
+  EXPECT_EQ(s.seen(), 7u);
+  EXPECT_FALSE(s.full());
+  for (int i = 0; i < 7; ++i) EXPECT_EQ(s.sample()[i], i);
+}
+
+TEST(ReservoirSamplerTest, NeverExceedsCapacity) {
+  ReservoirSampler<int> s(10, 2);
+  for (int i = 0; i < 10000; ++i) s.Offer(i);
+  EXPECT_EQ(s.sample().size(), 10u);
+  EXPECT_EQ(s.seen(), 10000u);
+  EXPECT_TRUE(s.full());
+}
+
+TEST(ReservoirSamplerTest, SampleElementsComeFromStream) {
+  ReservoirSampler<int> s(32, 3);
+  for (int i = 0; i < 5000; ++i) s.Offer(i);
+  for (int v : s.sample()) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 5000);
+  }
+}
+
+TEST(ReservoirSamplerTest, ResetStartsFresh) {
+  ReservoirSampler<int> s(5, 4);
+  for (int i = 0; i < 100; ++i) s.Offer(i);
+  s.Reset();
+  EXPECT_EQ(s.seen(), 0u);
+  EXPECT_TRUE(s.sample().empty());
+  s.Offer(42);
+  EXPECT_EQ(s.sample()[0], 42);
+}
+
+TEST(ReservoirSamplerTest, DeterministicForSeed) {
+  ReservoirSampler<int> a(16, 77), b(16, 77);
+  for (int i = 0; i < 2000; ++i) {
+    a.Offer(i);
+    b.Offer(i);
+  }
+  EXPECT_EQ(a.sample(), b.sample());
+}
+
+/// Uniformity: every stream position should land in the sample with
+/// probability k/n. We run many independent reservoirs and check each
+/// decile of the stream is represented near-uniformly in aggregate.
+class ReservoirUniformity
+    : public ::testing::TestWithParam<ReservoirAlgorithm> {};
+
+TEST_P(ReservoirUniformity, AllStreamRegionsEquallyLikely) {
+  constexpr int kTrials = 400;
+  constexpr int kN = 2000;
+  constexpr std::size_t kCap = 20;
+  std::vector<int> decile_hits(10, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ReservoirSampler<int> s(kCap, static_cast<std::uint64_t>(trial) + 1,
+                            GetParam());
+    for (int i = 0; i < kN; ++i) s.Offer(i);
+    for (int v : s.sample()) ++decile_hits[static_cast<std::size_t>(
+        v / (kN / 10))];
+  }
+  const double expected = kTrials * kCap / 10.0;  // 800 per decile
+  for (int h : decile_hits) {
+    EXPECT_NEAR(static_cast<double>(h), expected, expected * 0.12)
+        << "biased region";
+  }
+}
+
+TEST_P(ReservoirUniformity, MeanOfSampleTracksStreamMean) {
+  // Stream of 0..N-1 has mean (N-1)/2; sample mean should be close on
+  // average over trials.
+  constexpr int kN = 5000;
+  double total = 0.0;
+  int count = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    ReservoirSampler<double> s(50, static_cast<std::uint64_t>(trial) + 123,
+                               GetParam());
+    for (int i = 0; i < kN; ++i) s.Offer(static_cast<double>(i));
+    for (double v : s.sample()) {
+      total += v;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(total / count, (kN - 1) / 2.0, kN * 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ReservoirUniformity,
+                         ::testing::Values(ReservoirAlgorithm::kAlgorithmR,
+                                           ReservoirAlgorithm::kAlgorithmL));
+
+TEST(ReservoirSamplerTest, AlgorithmsAgreeOnSampleSizeAlways) {
+  for (std::size_t cap : {1u, 2u, 7u, 100u}) {
+    ReservoirSampler<int> r(cap, 9, ReservoirAlgorithm::kAlgorithmR);
+    ReservoirSampler<int> l(cap, 9, ReservoirAlgorithm::kAlgorithmL);
+    for (int i = 0; i < 500; ++i) {
+      r.Offer(i);
+      l.Offer(i);
+      EXPECT_EQ(r.sample().size(), l.sample().size());
+    }
+  }
+}
+
+TEST(ReservoirSamplerTest, CapacityOneStillUniformish) {
+  int last_half = 0;
+  constexpr int kTrials = 1000;
+  for (int t = 0; t < kTrials; ++t) {
+    ReservoirSampler<int> s(1, static_cast<std::uint64_t>(t) + 31);
+    for (int i = 0; i < 100; ++i) s.Offer(i);
+    if (s.sample()[0] >= 50) ++last_half;
+  }
+  EXPECT_NEAR(last_half, kTrials / 2, kTrials / 8);
+}
+
+}  // namespace
+}  // namespace spear

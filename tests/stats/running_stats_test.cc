@@ -1,0 +1,149 @@
+#include "stats/running_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace spear {
+namespace {
+
+TEST(RunningStatsTest, EmptyState) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.SampleVariance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Update(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 5.0);
+  EXPECT_DOUBLE_EQ(s.SampleVariance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownSmallSequence) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Update(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.PopulationVariance(), 4.0);
+  EXPECT_NEAR(s.SampleVariance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.PopulationStdDev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MatchesTwoPassComputation) {
+  Rng rng(99);
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextGaussian() * 3.0 + 10.0;
+    xs.push_back(x);
+    s.Update(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double m2 = 0.0, m4 = 0.0;
+  for (double x : xs) {
+    const double d = x - mean;
+    m2 += d * d;
+    m4 += d * d * d * d;
+  }
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.PopulationVariance(), m2 / xs.size(), 1e-6);
+  EXPECT_NEAR(s.FourthCentralMoment(), m4 / xs.size(), 1e-3);
+}
+
+TEST(RunningStatsTest, GaussianKurtosisNearZero) {
+  Rng rng(5);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.Update(rng.NextGaussian());
+  EXPECT_NEAR(s.ExcessKurtosis(), 0.0, 0.08);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(42);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.NextDouble() * 100.0;
+    whole.Update(x);
+    (i % 2 == 0 ? left : right).Update(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.SampleVariance(), whole.SampleVariance(), 1e-6);
+  EXPECT_NEAR(left.FourthCentralMoment(), whole.FourthCentralMoment(), 1e-2);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.Update(1.0);
+  a.Update(3.0);
+  const double mean_before = a.mean();
+  a.Merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+
+  RunningStats c;
+  c.Merge(a);  // empty lhs: copies
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Update(1.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStatsTest, ConstantSequenceHasZeroVariance) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.Update(7.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_NEAR(s.SampleVariance(), 0.0, 1e-12);
+  EXPECT_NEAR(s.ExcessKurtosis(), 0.0, 1e-9);
+}
+
+/// Property sweep: merge associativity across random partitions.
+class RunningStatsMergeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RunningStatsMergeSweep, ArbitraryPartitioningMatchesWhole) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const int parts = 1 + static_cast<int>(rng.NextBounded(7));
+  std::vector<RunningStats> chunks(static_cast<std::size_t>(parts));
+  RunningStats whole;
+  for (int i = 0; i < 3000; ++i) {
+    const double x = std::exp(rng.NextGaussian());  // skewed data
+    whole.Update(x);
+    chunks[rng.NextBounded(static_cast<std::uint64_t>(parts))].Update(x);
+  }
+  RunningStats merged;
+  for (const auto& c : chunks) merged.Merge(c);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9 * std::fabs(whole.mean()));
+  EXPECT_NEAR(merged.PopulationVariance(), whole.PopulationVariance(),
+              1e-7 * whole.PopulationVariance());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunningStatsMergeSweep,
+                         ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace spear

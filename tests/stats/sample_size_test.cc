@@ -1,0 +1,121 @@
+#include "stats/sample_size.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace spear {
+namespace {
+
+TEST(QuantileSampleSizeTest, HoeffdingKnownValue) {
+  // n >= ln(2/0.05) / (2 * 0.1^2) = ln(40)/0.02 ~= 184.44 -> 185.
+  auto n = RequiredQuantileSampleSize(0.5, 0.10, 0.95);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 185u);
+}
+
+TEST(QuantileSampleSizeTest, NormalRankKnownValue) {
+  // z=1.96, phi(1-phi)=0.25, eps=0.1: n = 1.96^2*0.25/0.01 ~= 96.
+  auto n = RequiredQuantileSampleSize(0.5, 0.10, 0.95,
+                                      QuantileBound::kNormalRank);
+  ASSERT_TRUE(n.ok());
+  EXPECT_NEAR(static_cast<double>(*n), 96.0, 1.0);
+}
+
+TEST(QuantileSampleSizeTest, NormalRankTighterAtExtremePhi) {
+  auto mid = RequiredQuantileSampleSize(0.5, 0.05, 0.95,
+                                        QuantileBound::kNormalRank);
+  auto tail = RequiredQuantileSampleSize(0.99, 0.05, 0.95,
+                                         QuantileBound::kNormalRank);
+  EXPECT_LT(*tail, *mid);
+}
+
+TEST(QuantileSampleSizeTest, SmallerEpsilonNeedsMoreSamples) {
+  auto coarse = RequiredQuantileSampleSize(0.5, 0.2, 0.95);
+  auto fine = RequiredQuantileSampleSize(0.5, 0.02, 0.95);
+  EXPECT_GT(*fine, *coarse);
+}
+
+TEST(QuantileSampleSizeTest, HigherConfidenceNeedsMoreSamples) {
+  auto low = RequiredQuantileSampleSize(0.5, 0.1, 0.90);
+  auto high = RequiredQuantileSampleSize(0.5, 0.1, 0.999);
+  EXPECT_GT(*high, *low);
+}
+
+TEST(QuantileSampleSizeTest, InvalidArgs) {
+  EXPECT_TRUE(RequiredQuantileSampleSize(-0.1, 0.1, 0.95).status().IsInvalid());
+  EXPECT_TRUE(RequiredQuantileSampleSize(0.5, 0.0, 0.95).status().IsInvalid());
+  EXPECT_TRUE(RequiredQuantileSampleSize(0.5, 1.0, 0.95).status().IsInvalid());
+  EXPECT_TRUE(RequiredQuantileSampleSize(0.5, 0.1, 0.0).status().IsInvalid());
+}
+
+TEST(FiniteSampleSizeTest, NeverExceedsPopulation) {
+  auto n = RequiredQuantileSampleSizeFinite(0.5, 0.01, 0.99, 100);
+  ASSERT_TRUE(n.ok());
+  EXPECT_LE(*n, 100u);
+}
+
+TEST(FiniteSampleSizeTest, SmallerThanInfinitePopulationBound) {
+  auto infinite = RequiredQuantileSampleSize(0.5, 0.1, 0.95);
+  auto finite = RequiredQuantileSampleSizeFinite(0.5, 0.1, 0.95, 500);
+  EXPECT_LT(*finite, *infinite);
+}
+
+TEST(FiniteSampleSizeTest, ApproachesInfiniteBoundForHugePopulation) {
+  auto infinite = RequiredQuantileSampleSize(0.5, 0.1, 0.95);
+  auto finite =
+      RequiredQuantileSampleSizeFinite(0.5, 0.1, 0.95, 100'000'000);
+  EXPECT_NEAR(static_cast<double>(*finite), static_cast<double>(*infinite),
+              1.0);
+}
+
+TEST(FiniteSampleSizeTest, ZeroPopulationInvalid) {
+  EXPECT_TRUE(
+      RequiredQuantileSampleSizeFinite(0.5, 0.1, 0.95, 0).status().IsInvalid());
+}
+
+TEST(MeanSampleSizeTest, KnownCochranValue) {
+  // n0 = (z*cv/eps)^2 = (1.959964*1.0/0.1)^2 ~= 384.1 -> with N=1e9,
+  // essentially 385.
+  auto n = RequiredMeanSampleSize(1.0, 0.1, 0.95, 1'000'000'000);
+  ASSERT_TRUE(n.ok());
+  EXPECT_NEAR(static_cast<double>(*n), 385.0, 1.0);
+}
+
+TEST(MeanSampleSizeTest, ZeroCvNeedsOneSample) {
+  auto n = RequiredMeanSampleSize(0.0, 0.1, 0.95, 1000);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+}
+
+TEST(MeanSampleSizeTest, HighVarianceNeedsMore) {
+  auto low = RequiredMeanSampleSize(0.5, 0.1, 0.95, 100000);
+  auto high = RequiredMeanSampleSize(2.0, 0.1, 0.95, 100000);
+  EXPECT_GT(*high, *low);
+}
+
+TEST(MeanSampleSizeTest, CappedByPopulation) {
+  auto n = RequiredMeanSampleSize(10.0, 0.01, 0.99, 50);
+  ASSERT_TRUE(n.ok());
+  EXPECT_LE(*n, 50u);
+}
+
+/// Property sweep: the finite-population correction is monotone in N.
+class FpcMonotoneSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(FpcMonotoneSweep, RequiredSizeMonotoneInPopulation) {
+  const double eps = GetParam();
+  std::uint64_t prev = 0;
+  for (std::uint64_t population : {100u, 1000u, 10000u, 100000u}) {
+    auto n = RequiredQuantileSampleSizeFinite(0.5, eps, 0.95, population);
+    ASSERT_TRUE(n.ok());
+    EXPECT_GE(*n, prev);
+    prev = *n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, FpcMonotoneSweep,
+                         ::testing::Values(0.02, 0.05, 0.1, 0.2));
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,100 @@
+#include "storage/file_storage.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace spear {
+namespace {
+
+class FileStorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("spear-spill-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+Tuple T(Timestamp t, double v) { return Tuple(t, {Value(v), Value("k")}); }
+
+TEST_F(FileStorageTest, OpenCreatesDirectory) {
+  auto storage = FileSecondaryStorage::Open(dir_.string());
+  ASSERT_TRUE(storage.ok());
+  EXPECT_TRUE(std::filesystem::exists(dir_));
+}
+
+TEST_F(FileStorageTest, StoreGetRoundTrip) {
+  auto storage = FileSecondaryStorage::Open(dir_.string());
+  ASSERT_TRUE(storage.ok());
+  ASSERT_TRUE(storage->Store("w1", T(1, 1.5)).ok());
+  ASSERT_TRUE(storage->Store("w1", T(2, 2.5)).ok());
+  auto run = storage->Get("w1");
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run->size(), 2u);
+  EXPECT_EQ((*run)[0].event_time(), 1);
+  EXPECT_DOUBLE_EQ((*run)[1].field(0).AsDouble(), 2.5);
+}
+
+TEST_F(FileStorageTest, MissingKeyNotFound) {
+  auto storage = FileSecondaryStorage::Open(dir_.string());
+  EXPECT_TRUE(storage->Get("missing").status().IsNotFound());
+  EXPECT_EQ(storage->CountFor("missing"), 0u);
+}
+
+TEST_F(FileStorageTest, BatchAndCount) {
+  auto storage = FileSecondaryStorage::Open(dir_.string());
+  ASSERT_TRUE(storage->StoreBatch("a", {T(1, 1), T(2, 2), T(3, 3)}).ok());
+  EXPECT_EQ(storage->CountFor("a"), 3u);
+  auto run = storage->Get("a");
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->size(), 3u);
+}
+
+TEST_F(FileStorageTest, EraseRemovesRunFile) {
+  auto storage = FileSecondaryStorage::Open(dir_.string());
+  ASSERT_TRUE(storage->Store("a", T(1, 1)).ok());
+  ASSERT_TRUE(storage->Erase("a").ok());
+  EXPECT_EQ(storage->CountFor("a"), 0u);
+  EXPECT_TRUE(storage->Get("a").status().IsNotFound());
+  // Idempotent.
+  EXPECT_TRUE(storage->Erase("a").ok());
+}
+
+TEST_F(FileStorageTest, SlashKeysFlattened) {
+  auto storage = FileSecondaryStorage::Open(dir_.string());
+  ASSERT_TRUE(storage->Store("spear-bolt-0/17", T(1, 1)).ok());
+  auto run = storage->Get("spear-bolt-0/17");
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->size(), 1u);
+}
+
+TEST_F(FileStorageTest, DiskBytesGrow) {
+  auto storage = FileSecondaryStorage::Open(dir_.string());
+  auto before = storage->DiskBytes();
+  ASSERT_TRUE(before.ok());
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(storage->Store("a", T(i, i)).ok());
+  auto after = storage->DiskBytes();
+  ASSERT_TRUE(after.ok());
+  EXPECT_GT(*after, *before);
+}
+
+TEST_F(FileStorageTest, ManyKeysIndependent) {
+  auto storage = FileSecondaryStorage::Open(dir_.string());
+  for (int k = 0; k < 20; ++k) {
+    for (int i = 0; i <= k; ++i) {
+      ASSERT_TRUE(storage->Store("key" + std::to_string(k), T(i, i)).ok());
+    }
+  }
+  for (int k = 0; k < 20; ++k) {
+    EXPECT_EQ(storage->CountFor("key" + std::to_string(k)),
+              static_cast<std::size_t>(k + 1));
+  }
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,99 @@
+#include "storage/secondary_storage.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/time.h"
+
+namespace spear {
+namespace {
+
+Tuple T(Timestamp t, double v) { return Tuple(t, {Value(v)}); }
+
+TEST(SecondaryStorageTest, StoreAndGet) {
+  SecondaryStorage s;
+  s.Store("w1", T(1, 1.0));
+  s.Store("w1", T(2, 2.0));
+  auto run = s.Get("w1");
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run->size(), 2u);
+  EXPECT_EQ((*run)[0].event_time(), 1);
+  EXPECT_EQ((*run)[1].event_time(), 2);
+}
+
+TEST(SecondaryStorageTest, GetMissingKeyIsNotFound) {
+  SecondaryStorage s;
+  EXPECT_TRUE(s.Get("nope").status().IsNotFound());
+}
+
+TEST(SecondaryStorageTest, KeysAreIndependent) {
+  SecondaryStorage s;
+  s.Store("a", T(1, 1.0));
+  s.Store("b", T(2, 2.0));
+  EXPECT_EQ(s.CountFor("a"), 1u);
+  EXPECT_EQ(s.CountFor("b"), 1u);
+  EXPECT_EQ(s.TotalTuples(), 2u);
+}
+
+TEST(SecondaryStorageTest, EraseRemovesRun) {
+  SecondaryStorage s;
+  s.Store("a", T(1, 1.0));
+  s.Erase("a");
+  EXPECT_EQ(s.CountFor("a"), 0u);
+  EXPECT_TRUE(s.Get("a").status().IsNotFound());
+}
+
+TEST(SecondaryStorageTest, StoreBatchAppends) {
+  SecondaryStorage s;
+  s.Store("a", T(1, 1.0));
+  s.StoreBatch("a", {T(2, 2.0), T(3, 3.0)});
+  EXPECT_EQ(s.CountFor("a"), 3u);
+}
+
+TEST(SecondaryStorageTest, CallCounters) {
+  SecondaryStorage s;
+  s.Store("a", T(1, 1.0));
+  s.StoreBatch("a", {T(2, 2.0)});
+  (void)s.Get("a");
+  (void)s.Get("missing");
+  EXPECT_EQ(s.store_calls(), 2u);
+  EXPECT_EQ(s.get_calls(), 2u);
+}
+
+TEST(SecondaryStorageTest, LatencyModelCostsTime) {
+  SecondaryStorage slow(StorageLatencyModel{2'000'000, 0});  // 2 ms per call
+  const std::int64_t start = NowNs();
+  slow.Store("a", T(1, 1.0));
+  const std::int64_t elapsed = NowNs() - start;
+  EXPECT_GE(elapsed, 2'000'000);
+}
+
+TEST(SecondaryStorageTest, PerTupleLatencyScalesWithBatch) {
+  SecondaryStorage slow(StorageLatencyModel{0, 10'000});  // 10 us per tuple
+  std::vector<Tuple> batch;
+  for (int i = 0; i < 100; ++i) batch.push_back(T(i, 0.0));
+  const std::int64_t start = NowNs();
+  slow.StoreBatch("a", std::move(batch));
+  EXPECT_GE(NowNs() - start, 1'000'000);  // >= 1 ms for 100 tuples
+}
+
+TEST(SecondaryStorageTest, ConcurrentStoresAllLand) {
+  SecondaryStorage s;
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&s, w] {
+      for (int i = 0; i < 500; ++i) {
+        s.Store("k" + std::to_string(w), T(i, 0.0));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(s.TotalTuples(), 2000u);
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_EQ(s.CountFor("k" + std::to_string(w)), 500u);
+  }
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,67 @@
+#include "storage/spilling_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+Tuple T(Timestamp t) { return Tuple(t, {Value(static_cast<double>(t))}); }
+
+TEST(SpillingBufferTest, UnlimitedNeverSpills) {
+  SpillingBuffer buf(0, nullptr, "k");
+  for (int i = 0; i < 1000; ++i) buf.Append(T(i));
+  EXPECT_EQ(buf.size(), 1000u);
+  EXPECT_EQ(buf.spilled_size(), 0u);
+  EXPECT_FALSE(buf.HasSpilled());
+}
+
+TEST(SpillingBufferTest, SpillsBeyondCapacity) {
+  SecondaryStorage storage;
+  SpillingBuffer buf(10, &storage, "k");
+  for (int i = 0; i < 25; ++i) buf.Append(T(i));
+  EXPECT_EQ(buf.memory_size(), 10u);
+  EXPECT_EQ(buf.spilled_size(), 15u);
+  EXPECT_EQ(buf.size(), 25u);
+  EXPECT_TRUE(buf.HasSpilled());
+  EXPECT_EQ(storage.CountFor("k"), 15u);
+}
+
+TEST(SpillingBufferTest, MaterializeReturnsAllInOrder) {
+  SecondaryStorage storage;
+  SpillingBuffer buf(5, &storage, "k");
+  for (int i = 0; i < 12; ++i) buf.Append(T(i));
+  auto all = buf.Materialize();
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 12u);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ((*all)[i].event_time(), i);
+}
+
+TEST(SpillingBufferTest, MaterializeWithoutSpillAvoidsStorage) {
+  SecondaryStorage storage;
+  SpillingBuffer buf(100, &storage, "k");
+  buf.Append(T(1));
+  auto all = buf.Materialize();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(storage.get_calls(), 0u);
+}
+
+TEST(SpillingBufferTest, ClearErasesSpilledRun) {
+  SecondaryStorage storage;
+  SpillingBuffer buf(2, &storage, "k");
+  for (int i = 0; i < 5; ++i) buf.Append(T(i));
+  buf.Clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(storage.CountFor("k"), 0u);
+}
+
+TEST(SpillingBufferTest, MemoryBytesCoversResidentOnly) {
+  SecondaryStorage storage;
+  SpillingBuffer buf(3, &storage, "k");
+  for (int i = 0; i < 10; ++i) buf.Append(T(i));
+  const std::size_t bytes = buf.MemoryBytes();
+  EXPECT_GT(bytes, 0u);
+  EXPECT_LT(bytes, 10 * T(0).ByteSize());  // only 3 resident
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,48 @@
+#include "tuple/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "tuple/field_extractor.h"
+
+namespace spear {
+namespace {
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s({"time", "route", "fare"});
+  EXPECT_EQ(s.num_fields(), 3u);
+  ASSERT_TRUE(s.FieldIndex("fare").ok());
+  EXPECT_EQ(*s.FieldIndex("fare"), 2u);
+  EXPECT_EQ(*s.FieldIndex("time"), 0u);
+}
+
+TEST(SchemaTest, MissingFieldIsNotFound) {
+  Schema s({"a"});
+  EXPECT_TRUE(s.FieldIndex("b").status().IsNotFound());
+  EXPECT_FALSE(s.HasField("b"));
+  EXPECT_TRUE(s.HasField("a"));
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(Schema({"a", "b"}), Schema({"a", "b"}));
+  EXPECT_FALSE(Schema({"a"}) == Schema({"a", "b"}));
+}
+
+TEST(FieldExtractorTest, NumericFieldReadsDoublesAndInts) {
+  Tuple t(0, {Value(std::int64_t{4}), Value(2.5)});
+  EXPECT_DOUBLE_EQ(NumericField(0)(t), 4.0);
+  EXPECT_DOUBLE_EQ(NumericField(1)(t), 2.5);
+}
+
+TEST(FieldExtractorTest, KeyFieldStringifiesNonStrings) {
+  Tuple t(0, {Value("route-1"), Value(std::int64_t{9})});
+  EXPECT_EQ(KeyField(0)(t), "route-1");
+  EXPECT_EQ(KeyField(1)(t), "9");
+}
+
+TEST(FieldExtractorTest, IntKeyField) {
+  Tuple t(0, {Value(std::int64_t{123})});
+  EXPECT_EQ(IntKeyField(0)(t), 123);
+}
+
+}  // namespace
+}  // namespace spear

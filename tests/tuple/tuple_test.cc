@@ -1,0 +1,66 @@
+#include "tuple/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+TEST(TupleTest, DefaultEmpty) {
+  Tuple t;
+  EXPECT_EQ(t.event_time(), 0);
+  EXPECT_EQ(t.num_fields(), 0u);
+}
+
+TEST(TupleTest, InitializerListConstruction) {
+  Tuple t(1000, {Value(std::int64_t{1}), Value(2.5), Value("r")});
+  EXPECT_EQ(t.event_time(), 1000);
+  ASSERT_EQ(t.num_fields(), 3u);
+  EXPECT_EQ(t.field(0).AsInt64(), 1);
+  EXPECT_DOUBLE_EQ(t.field(1).AsDouble(), 2.5);
+  EXPECT_EQ(t.field(2).AsString(), "r");
+}
+
+TEST(TupleTest, SetEventTime) {
+  Tuple t;
+  t.set_event_time(77);
+  EXPECT_EQ(t.event_time(), 77);
+}
+
+TEST(TupleTest, MutableField) {
+  Tuple t(0, {Value(std::int64_t{1})});
+  t.field(0) = Value(std::int64_t{9});
+  EXPECT_EQ(t.field(0).AsInt64(), 9);
+}
+
+TEST(TupleTest, AppendAndPopField) {
+  Tuple t(0, {Value(std::int64_t{1})});
+  t.AppendField(Value(std::int64_t{55}));
+  EXPECT_EQ(t.num_fields(), 2u);
+  const Value popped = t.PopField();
+  EXPECT_EQ(popped.AsInt64(), 55);
+  EXPECT_EQ(t.num_fields(), 1u);
+}
+
+TEST(TupleTest, Equality) {
+  Tuple a(5, {Value(1.0)});
+  Tuple b(5, {Value(1.0)});
+  Tuple c(6, {Value(1.0)});
+  Tuple d(5, {Value(2.0)});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(TupleTest, ByteSizeIncludesFields) {
+  Tuple small(0, {Value(std::int64_t{1})});
+  Tuple big(0, {Value(std::int64_t{1}), Value(std::string(200, 'y'))});
+  EXPECT_GT(big.ByteSize(), small.ByteSize() + 200);
+}
+
+TEST(TupleTest, ToStringFormat) {
+  Tuple t(3, {Value(std::int64_t{1}), Value("x")});
+  EXPECT_EQ(t.ToString(), "{t=3, 1, x}");
+}
+
+}  // namespace
+}  // namespace spear

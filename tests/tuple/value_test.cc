@@ -1,0 +1,69 @@
+#include "tuple/value.h"
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+TEST(ValueTest, DefaultIsInt64Zero) {
+  Value v;
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.AsInt64(), 0);
+}
+
+TEST(ValueTest, Int64RoundTrip) {
+  Value v(std::int64_t{-42});
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.AsInt64(), -42);
+  EXPECT_EQ(v.type(), ValueType::kInt64);
+}
+
+TEST(ValueTest, Int32Promotes) {
+  Value v(std::int32_t{7});
+  EXPECT_TRUE(v.is_int64());
+  EXPECT_EQ(v.AsInt64(), 7);
+}
+
+TEST(ValueTest, DoubleRoundTrip) {
+  Value v(3.25);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_DOUBLE_EQ(v.AsDouble(), 3.25);
+}
+
+TEST(ValueTest, StringRoundTrip) {
+  Value v(std::string("route-17"));
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "route-17");
+}
+
+TEST(ValueTest, CStringConstructs) {
+  Value v("abc");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "abc");
+}
+
+TEST(ValueTest, AsNumericCoercesInt) {
+  EXPECT_DOUBLE_EQ(Value(std::int64_t{5}).AsNumeric(), 5.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsNumeric(), 2.5);
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(std::int64_t{1}), Value(std::int64_t{1}));
+  EXPECT_NE(Value(std::int64_t{1}), Value(1.0));  // type-sensitive
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(std::int64_t{12}).ToString(), "12");
+  EXPECT_EQ(Value("x").ToString(), "x");
+  EXPECT_EQ(Value(1.5).ToString(), "1.5");
+}
+
+TEST(ValueTest, ByteSizeGrowsWithStrings) {
+  EXPECT_EQ(Value(std::int64_t{1}).ByteSize(), sizeof(Value));
+  EXPECT_GT(Value(std::string(100, 'x')).ByteSize(), 100u);
+}
+
+}  // namespace
+}  // namespace spear

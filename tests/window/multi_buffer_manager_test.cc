@@ -1,0 +1,87 @@
+#include "window/multi_buffer_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "window/single_buffer_manager.h"
+
+namespace spear {
+namespace {
+
+Tuple T(Timestamp t, double v = 0.0) { return Tuple(t, {Value(v)}); }
+
+TEST(MultiBufferTest, TumblingBasic) {
+  MultiBufferWindowManager mgr(WindowSpec::TumblingTime(10));
+  mgr.OnTuple(1, T(1));
+  mgr.OnTuple(5, T(5));
+  mgr.OnTuple(12, T(12));
+  auto windows = mgr.OnWatermark(10);
+  ASSERT_TRUE(windows.ok());
+  ASSERT_EQ(windows->size(), 1u);
+  EXPECT_EQ((*windows)[0].tuples.size(), 2u);
+  EXPECT_EQ(mgr.BufferedTuples(), 1u);
+}
+
+TEST(MultiBufferTest, SlidingStoresOneCopyPerWindow) {
+  MultiBufferWindowManager mgr(WindowSpec::SlidingTime(15, 5));
+  mgr.OnTuple(61, T(61));
+  // 3 participating windows -> 3 copies (the design's memory cost).
+  EXPECT_EQ(mgr.BufferedTuples(), 3u);
+  EXPECT_EQ(mgr.active_windows(), 3u);
+}
+
+TEST(MultiBufferTest, MemoryExceedsSingleBufferForSliding) {
+  MultiBufferWindowManager multi(WindowSpec::SlidingTime(15, 5));
+  for (int t = 0; t < 100; ++t) multi.OnTuple(t, T(t, 1.0));
+  // Every tuple is tripled.
+  EXPECT_EQ(multi.BufferedTuples(), 300u);
+  EXPECT_GT(multi.MemoryBytes(), 0u);
+}
+
+TEST(MultiBufferTest, WatermarkPicksBuffersWithoutScan) {
+  MultiBufferWindowManager mgr(WindowSpec::SlidingTime(15, 5));
+  mgr.OnTuple(61, T(61));
+  mgr.OnTuple(72, T(72));
+  auto windows = mgr.OnWatermark(70);
+  ASSERT_TRUE(windows.ok());
+  // Complete: [50,65), [55,70).
+  ASSERT_EQ(windows->size(), 2u);
+  EXPECT_EQ((*windows)[0].bounds, (WindowBounds{50, 65}));
+  EXPECT_EQ((*windows)[1].bounds, (WindowBounds{55, 70}));
+}
+
+TEST(MultiBufferTest, LateTuplesDropped) {
+  MultiBufferWindowManager mgr(WindowSpec::TumblingTime(10));
+  (void)mgr.OnWatermark(10);
+  mgr.OnTuple(3, T(3));
+  EXPECT_EQ(mgr.late_tuples(), 1u);
+  EXPECT_EQ(mgr.BufferedTuples(), 0u);
+}
+
+TEST(MultiBufferTest, AgreesWithSingleBufferOnWindowContents) {
+  SingleBufferWindowManager single(WindowSpec::SlidingTime(20, 10));
+  MultiBufferWindowManager multi(WindowSpec::SlidingTime(20, 10));
+  for (int t = 0; t < 100; t += 3) {
+    single.OnTuple(t, T(t, t));
+    multi.OnTuple(t, T(t, t));
+  }
+  auto s = single.OnWatermark(90);
+  auto m = multi.OnWatermark(90);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(s->size(), m->size());
+  for (std::size_t i = 0; i < s->size(); ++i) {
+    EXPECT_EQ((*s)[i].bounds, (*m)[i].bounds);
+    EXPECT_EQ((*s)[i].tuples.size(), (*m)[i].tuples.size());
+  }
+}
+
+TEST(MultiBufferTest, DuplicateWatermarkIgnored) {
+  MultiBufferWindowManager mgr(WindowSpec::TumblingTime(10));
+  mgr.OnTuple(5, T(5));
+  (void)mgr.OnWatermark(10);
+  auto again = mgr.OnWatermark(10);
+  EXPECT_TRUE(again->empty());
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,58 @@
+#include "window/watermark.h"
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+TEST(WatermarkGeneratorTest, FirstObservationEmits) {
+  WatermarkGenerator gen(Seconds(10));
+  EXPECT_TRUE(gen.Observe(1000));
+  // Exclusive: everything < 1000 seen; 1000 itself may repeat (ties).
+  EXPECT_EQ(gen.current(), 1000);
+}
+
+TEST(WatermarkGeneratorTest, EmitsEveryInterval) {
+  WatermarkGenerator gen(100);
+  EXPECT_TRUE(gen.Observe(0));  // first observation always emits
+  EXPECT_EQ(gen.current(), 0);  // vacuous but sound: everything < 0 seen
+  EXPECT_FALSE(gen.Observe(50));
+  EXPECT_FALSE(gen.Observe(99));
+  EXPECT_TRUE(gen.Observe(149));  // first observation past the interval
+  EXPECT_EQ(gen.current(), 149);
+  EXPECT_FALSE(gen.Observe(150));
+}
+
+TEST(WatermarkGeneratorTest, LatenessLagsWatermark) {
+  WatermarkGenerator gen(10, /*max_lateness=*/50);
+  EXPECT_TRUE(gen.Observe(1000));
+  EXPECT_EQ(gen.current(), 950);  // 1000 - 50
+}
+
+TEST(WatermarkGeneratorTest, NonMonotoneInputKeepsMax) {
+  WatermarkGenerator gen(10);
+  EXPECT_TRUE(gen.Observe(100));
+  EXPECT_FALSE(gen.Observe(50));  // out-of-order observation
+  EXPECT_EQ(gen.current(), 100);
+  EXPECT_TRUE(gen.Observe(120));
+  EXPECT_EQ(gen.current(), 120);
+}
+
+TEST(WatermarkGeneratorTest, WatermarksMonotone) {
+  WatermarkGenerator gen(25, 10);
+  Timestamp last = kMinTimestamp;
+  for (Timestamp t = 0; t < 1000; t += 7) {
+    if (gen.Observe(t)) {
+      EXPECT_GT(gen.current(), last);
+      last = gen.current();
+    }
+  }
+  EXPECT_GT(last, kMinTimestamp);
+}
+
+TEST(WatermarkGeneratorTest, FinalWatermarkIsMax) {
+  EXPECT_EQ(WatermarkGenerator::FinalWatermark(), kMaxTimestamp);
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,72 @@
+#include "window/window_spec.h"
+
+#include <gtest/gtest.h>
+
+namespace spear {
+namespace {
+
+TEST(WindowSpecTest, TumblingTime) {
+  const WindowSpec spec = WindowSpec::TumblingTime(Minutes(5));
+  EXPECT_EQ(spec.type, WindowType::kTimeBased);
+  EXPECT_EQ(spec.range, 300'000);
+  EXPECT_EQ(spec.slide, 300'000);
+  EXPECT_TRUE(spec.IsTumbling());
+  EXPECT_TRUE(spec.IsValid());
+  EXPECT_EQ(spec.WindowsPerCoordinate(), 1);
+}
+
+TEST(WindowSpecTest, SlidingTime) {
+  const WindowSpec spec = WindowSpec::SlidingTime(Minutes(15), Minutes(5));
+  EXPECT_FALSE(spec.IsTumbling());
+  EXPECT_TRUE(spec.IsValid());
+  EXPECT_EQ(spec.WindowsPerCoordinate(), 3);
+}
+
+TEST(WindowSpecTest, CountWindows) {
+  const WindowSpec spec = WindowSpec::SlidingCount(100, 25);
+  EXPECT_EQ(spec.type, WindowType::kCountBased);
+  EXPECT_EQ(spec.WindowsPerCoordinate(), 4);
+  EXPECT_TRUE(WindowSpec::TumblingCount(10).IsTumbling());
+}
+
+TEST(WindowSpecTest, InvalidSpecs) {
+  EXPECT_FALSE((WindowSpec{WindowType::kTimeBased, 0, 0}.IsValid()));
+  EXPECT_FALSE((WindowSpec{WindowType::kTimeBased, 10, 0}.IsValid()));
+  EXPECT_FALSE((WindowSpec{WindowType::kTimeBased, 10, 20}.IsValid()))
+      << "slide > range";
+  EXPECT_FALSE((WindowSpec{WindowType::kCountBased, -5, 1}.IsValid()));
+}
+
+TEST(WindowSpecTest, NonDividingSlideRoundsUp) {
+  const WindowSpec spec = WindowSpec::SlidingTime(10, 3);
+  EXPECT_EQ(spec.WindowsPerCoordinate(), 4);  // ceil(10/3)
+}
+
+TEST(WindowSpecTest, ToStringMentionsShape) {
+  EXPECT_EQ(WindowSpec::TumblingTime(100).ToString(),
+            "time-tumbling(range=100)");
+  EXPECT_EQ(WindowSpec::SlidingCount(10, 5).ToString(),
+            "count-sliding(range=10, slide=5)");
+}
+
+TEST(WindowBoundsTest, ContainsHalfOpen) {
+  const WindowBounds w{10, 20};
+  EXPECT_FALSE(w.Contains(9));
+  EXPECT_TRUE(w.Contains(10));
+  EXPECT_TRUE(w.Contains(19));
+  EXPECT_FALSE(w.Contains(20));
+  EXPECT_EQ(w.length(), 10);
+}
+
+TEST(WindowBoundsTest, OrderingAndEquality) {
+  EXPECT_EQ((WindowBounds{1, 2}), (WindowBounds{1, 2}));
+  EXPECT_LT((WindowBounds{1, 5}), (WindowBounds{2, 3}));
+  EXPECT_LT((WindowBounds{1, 3}), (WindowBounds{1, 5}));
+}
+
+TEST(WindowBoundsTest, ToString) {
+  EXPECT_EQ((WindowBounds{5, 15}).ToString(), "[5, 15)");
+}
+
+}  // namespace
+}  // namespace spear
