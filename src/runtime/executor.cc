@@ -1,6 +1,7 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
+#include <iterator>
 #include <thread>
 
 #include "common/logging.h"
@@ -47,53 +48,92 @@ using ElementQueue = BlockingQueue<Executor::Element>;
 }  // namespace
 
 /// Routes a worker's emissions to the next stage (or the output sink).
+///
+/// Tuple emissions are micro-batched per target queue: up to
+/// `batch_max_tuples` tuples accumulate in a per-target buffer and move
+/// downstream under one lock acquisition (BlockingQueue::PushAll). Buffers
+/// flush unconditionally before any Broadcast (watermark/flush) and before
+/// the owning worker blocks on an empty input queue, so tuples are never
+/// reordered across a control element on their channel and never held back
+/// while the pipeline idles. Per-channel FIFO order is preserved exactly:
+/// batching only changes how many queue operations carry it.
 class Executor::StageEmitter : public Emitter {
  public:
   StageEmitter(int my_task, const Partitioner* next_partitioner,
-               std::vector<ElementQueue*> next_queues,
-               WorkerMetrics* metrics, std::vector<Tuple>* output,
-               std::mutex* output_mutex)
+               std::vector<ElementQueue*> next_queues, std::size_t batch_max,
+               WorkerMetrics* metrics, std::vector<Tuple>* local_output)
       : my_task_(my_task),
         next_partitioner_(next_partitioner),
         next_queues_(std::move(next_queues)),
+        batch_max_(std::max<std::size_t>(batch_max, 1)),
         metrics_(metrics),
-        output_(output),
-        output_mutex_(output_mutex) {}
+        local_output_(local_output) {
+    buffers_.resize(next_queues_.size());
+    for (auto& buffer : buffers_) buffer.reserve(batch_max_);
+  }
 
   void Emit(Tuple tuple) override {
     if (metrics_ != nullptr) metrics_->AddTuplesOut(1);
     if (next_queues_.empty()) {
-      std::lock_guard<std::mutex> lock(*output_mutex_);
-      output_->push_back(std::move(tuple));
+      // Sink stage: collect into the worker's private vector (merged once
+      // after join) instead of contending on a shared output lock.
+      local_output_->push_back(std::move(tuple));
       return;
     }
-    const int target = next_partitioner_->TargetTask(
-        tuple, static_cast<int>(next_queues_.size()), &rr_state_);
-    next_queues_[static_cast<std::size_t>(target)]->Push(
-        Element::MakeTuple(std::move(tuple), my_task_));
+    const auto target = static_cast<std::size_t>(next_partitioner_->TargetTask(
+        tuple, static_cast<int>(next_queues_.size()), &rr_state_));
+    std::vector<Element>& buffer = buffers_[target];
+    // Build the element in place (a temporary would cost an extra move of
+    // the whole Element on this per-tuple path).
+    Element& element = buffer.emplace_back();
+    element.from_channel = my_task_;
+    element.tuple = std::move(tuple);
+    if (buffer.size() >= batch_max_) Flush(target);
   }
 
+  /// Pushes every buffered tuple downstream immediately.
+  void FlushAll() {
+    for (std::size_t t = 0; t < buffers_.size(); ++t) Flush(t);
+  }
+
+  /// Sends a control element to every downstream queue, after flushing all
+  /// buffered tuples so nothing is reordered across it.
   void Broadcast(Element element) {
-    for (ElementQueue* q : next_queues_) {
-      Element copy = element;
-      q->Push(std::move(copy));
+    FlushAll();
+    const std::size_t n = next_queues_.size();
+    if (n == 0) return;
+    for (std::size_t q = 0; q + 1 < n; ++q) {
+      next_queues_[q]->Push(element);  // copy for all but the last queue...
     }
+    next_queues_[n - 1]->Push(std::move(element));  // ...which takes the move
   }
 
   bool HasDownstream() const { return !next_queues_.empty(); }
 
  private:
+  void Flush(std::size_t target) {
+    std::vector<Element>& buffer = buffers_[target];
+    if (buffer.empty()) return;
+    next_queues_[target]->PushAll(std::move(buffer));
+    // The vector's storage was handed to the queue as a whole batch node;
+    // start a fresh allocation for the next batch.
+    buffer.reserve(batch_max_);
+  }
+
   const int my_task_;
   const Partitioner* next_partitioner_;
   std::vector<ElementQueue*> next_queues_;
+  const std::size_t batch_max_;
   WorkerMetrics* metrics_;
-  std::vector<Tuple>* output_;
-  std::mutex* output_mutex_;
+  std::vector<Tuple>* local_output_;
+  std::vector<std::vector<Element>> buffers_;
   std::uint64_t rr_state_ = 0;
 };
 
 Result<RunReport> Executor::Run() {
   const std::size_t num_stages = topology_.stages.size();
+  const std::size_t batch_max =
+      std::max<std::size_t>(topology_.batch_max_tuples, 1);
 
   RunReport report;
 
@@ -108,7 +148,12 @@ Result<RunReport> Executor::Run() {
     }
   }
 
-  std::mutex output_mutex;
+  // One private output vector per sink-stage worker, merged after join in
+  // task order (no cross-worker ordering is promised, with or without the
+  // merge — per-worker order is what stays deterministic).
+  std::vector<std::vector<Tuple>> sink_outputs(
+      static_cast<std::size_t>(topology_.stages[num_stages - 1].parallelism));
+
   std::mutex error_mutex;
   Status first_error = Status::OK();
   std::atomic<bool> failed{false};
@@ -147,13 +192,16 @@ Result<RunReport> Executor::Run() {
       std::vector<ElementQueue*> next_queues =
           i + 1 < num_stages ? queues_of_stage(i + 1)
                              : std::vector<ElementQueue*>{};
+      std::vector<Tuple>* sink_output =
+          i + 1 == num_stages ? &sink_outputs[static_cast<std::size_t>(task)]
+                              : nullptr;
 
-      threads.emplace_back([&, i, task, metrics, in_queue,
-                            next_partitioner,
+      threads.emplace_back([&, i, task, metrics, in_queue, next_partitioner,
+                            sink_output,
                             next_queues = std::move(next_queues)]() mutable {
         const StageSpec& my_stage = topology_.stages[i];
         StageEmitter emitter(task, next_partitioner, std::move(next_queues),
-                             metrics, &report.output, &output_mutex);
+                             batch_max, metrics, sink_output);
 
         std::unique_ptr<Bolt> bolt = my_stage.bolt_factory(task);
         if (bolt == nullptr) {
@@ -178,71 +226,83 @@ Result<RunReport> Executor::Run() {
         int flushed_count = 0;
         Timestamp local_wm = kMinTimestamp;
 
-        while (!failed.load(std::memory_order_relaxed)) {
-          std::optional<Element> element = in_queue->Pop();
-          if (!element.has_value()) break;  // closed (cancelled run)
+        std::vector<Element> batch;
+        batch.reserve(batch_max);
 
-          switch (element->kind) {
-            case Element::Kind::kTuple: {
-              metrics->AddTuplesIn(1);
-              std::int64_t busy = 0;
-              Status s;
-              {
-                ScopedTimerNs timer(&busy);
-                s = bolt->Execute(element->tuple, &emitter);
-              }
-              metrics->AddBusyNs(busy);
-              if (!s.ok()) {
-                record_error(s);
-                return;
-              }
-              break;
-            }
-            case Element::Kind::kWatermark: {
-              auto& ch = channel_wm[static_cast<std::size_t>(
-                  element->from_channel)];
-              ch = std::max(ch, element->watermark);
-              const Timestamp aligned =
-                  *std::min_element(channel_wm.begin(), channel_wm.end());
-              if (aligned > local_wm) {
-                local_wm = aligned;
-                std::int64_t busy = 0;
-                Status s;
-                {
-                  ScopedTimerNs timer(&busy);
-                  s = bolt->OnWatermark(local_wm, &emitter);
-                }
-                metrics->AddBusyNs(busy);
-                if (!s.ok()) {
-                  record_error(s);
-                  return;
-                }
-                if (emitter.HasDownstream()) {
-                  emitter.Broadcast(Element::MakeWatermark(local_wm, task));
-                }
-              }
-              break;
-            }
-            case Element::Kind::kFlush: {
-              auto flushed_flag = channel_flushed.begin() +
-                                  element->from_channel;
-              if (!*flushed_flag) {
-                *flushed_flag = true;
-                ++flushed_count;
-              }
-              if (flushed_count == channels) {
-                if (Status s = bolt->Finish(&emitter); !s.ok()) {
-                  record_error(s);
-                  return;
-                }
-                if (emitter.HasDownstream()) {
-                  emitter.Broadcast(Element::MakeFlush(task));
-                }
-                return;  // worker done
-              }
-              break;
+        while (!failed.load(std::memory_order_relaxed)) {
+          batch.clear();
+          if (in_queue->TryPopAll(&batch, batch_max) == 0) {
+            // About to sleep: hand any buffered output downstream first so
+            // a starved consumer is never waiting on tuples we hold.
+            emitter.FlushAll();
+            if (in_queue->PopAll(&batch, batch_max) == 0) {
+              break;  // closed (cancelled run)
             }
           }
+
+          // Drain the popped batch locally; metrics updates are batched —
+          // one timer read pair and one AddTuplesIn/AddBusyNs per popped
+          // batch instead of per tuple.
+          std::uint64_t batch_tuples = 0;
+          std::int64_t batch_busy = 0;
+          Status status = Status::OK();
+          bool finished = false;
+
+          {
+            ScopedTimerNs timer(&batch_busy);
+            for (Element& element : batch) {
+              switch (element.kind) {
+                case Element::Kind::kTuple: {
+                  ++batch_tuples;
+                  status = bolt->Execute(element.tuple, &emitter);
+                  break;
+                }
+                case Element::Kind::kWatermark: {
+                  auto& ch = channel_wm[static_cast<std::size_t>(
+                      element.from_channel)];
+                  ch = std::max(ch, element.watermark);
+                  const Timestamp aligned =
+                      *std::min_element(channel_wm.begin(), channel_wm.end());
+                  if (aligned > local_wm) {
+                    local_wm = aligned;
+                    status = bolt->OnWatermark(local_wm, &emitter);
+                    if (status.ok() && emitter.HasDownstream()) {
+                      emitter.Broadcast(
+                          Element::MakeWatermark(local_wm, task));
+                    }
+                  }
+                  break;
+                }
+                case Element::Kind::kFlush: {
+                  auto flushed_flag = channel_flushed.begin() +
+                                      element.from_channel;
+                  if (!*flushed_flag) {
+                    *flushed_flag = true;
+                    ++flushed_count;
+                  }
+                  if (flushed_count == channels) {
+                    status = bolt->Finish(&emitter);
+                    if (status.ok()) {
+                      if (emitter.HasDownstream()) {
+                        emitter.Broadcast(Element::MakeFlush(task));
+                      }
+                      finished = true;  // every upstream channel is done
+                    }
+                  }
+                  break;
+                }
+              }
+              if (!status.ok() || finished) break;
+            }
+          }
+
+          metrics->AddTuplesIn(batch_tuples);
+          metrics->AddBusyNs(batch_busy);
+          if (!status.ok()) {
+            record_error(status);
+            return;
+          }
+          if (finished) return;  // worker done
         }
       });
     }
@@ -251,23 +311,26 @@ Result<RunReport> Executor::Run() {
   // --- Source thread ------------------------------------------------------
   threads.emplace_back([&]() {
     StageEmitter emitter(0, &topology_.stages[0].input_partitioner,
-                         queues_of_stage(0), nullptr, &report.output,
-                         &output_mutex);
+                         queues_of_stage(0), batch_max, nullptr, nullptr);
     // With interval <= 0 the generator is never consulted: only the final
     // end-of-stream watermark fires.
     WatermarkGenerator generator(
         std::max<DurationMs>(topology_.source.watermark_interval, 1),
         topology_.source.max_lateness);
 
-    Tuple tuple;
-    while (!failed.load(std::memory_order_relaxed) &&
-           topology_.source.spout->Next(&tuple)) {
-      const Timestamp t = tuple.event_time();
-      emitter.Emit(std::move(tuple));
-      if (topology_.source.watermark_interval > 0 && generator.Observe(t)) {
-        emitter.Broadcast(Element::MakeWatermark(generator.current(), 0));
+    std::vector<Tuple> pulled;
+    pulled.reserve(batch_max);
+    bool more = true;
+    while (more && !failed.load(std::memory_order_relaxed)) {
+      pulled.clear();
+      more = topology_.source.spout->NextBatch(&pulled, batch_max);
+      for (Tuple& tuple : pulled) {
+        const Timestamp t = tuple.event_time();
+        emitter.Emit(std::move(tuple));
+        if (topology_.source.watermark_interval > 0 && generator.Observe(t)) {
+          emitter.Broadcast(Element::MakeWatermark(generator.current(), 0));
+        }
       }
-      tuple = Tuple();
     }
     // Final watermark releases every buffered window, then flush.
     emitter.Broadcast(
@@ -280,6 +343,14 @@ Result<RunReport> Executor::Run() {
   if (failed.load()) {
     std::lock_guard<std::mutex> lock(error_mutex);
     return first_error;
+  }
+
+  // Merge the sink workers' private outputs in task order.
+  std::size_t total = 0;
+  for (const auto& part : sink_outputs) total += part.size();
+  report.output.reserve(total);
+  for (auto& part : sink_outputs) {
+    std::move(part.begin(), part.end(), std::back_inserter(report.output));
   }
   return report;
 }

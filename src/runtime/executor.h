@@ -18,6 +18,11 @@
 /// and end-of-stream is a flush marker that propagates once every input
 /// channel has flushed. Tuples on one channel stay in order (the paper's
 /// experiments enable Storm's in-order delivery).
+///
+/// Channels are micro-batched (Topology::batch_max_tuples): emitters buffer
+/// tuples per target and move them as one batch per lock acquisition, and
+/// workers drain popped batches locally. Control elements force a flush, so
+/// ordering, watermark, and back-pressure semantics match batch size 1.
 
 namespace spear {
 

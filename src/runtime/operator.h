@@ -1,8 +1,10 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "common/result.h"
 #include "common/time.h"
@@ -69,6 +71,20 @@ class Spout {
 
   /// Produces the next tuple; false at end of stream.
   virtual bool Next(Tuple* out) = 0;
+
+  /// Appends up to `max` tuples to `*out`; returns false once the stream
+  /// is exhausted (tuples already appended remain valid). The default
+  /// loops Next(); sources with random-access backing can override it to
+  /// fill the batch without per-tuple virtual dispatch.
+  virtual bool NextBatch(std::vector<Tuple>* out, std::size_t max) {
+    Tuple tuple;
+    for (std::size_t k = 0; k < max; ++k) {
+      if (!Next(&tuple)) return false;
+      out->push_back(std::move(tuple));
+      tuple = Tuple();
+    }
+    return true;
+  }
 };
 
 /// \brief Per-worker bolt factory: stage parallelism P creates P bolts.

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <functional>
 #include <utility>
 #include <vector>
@@ -24,6 +26,14 @@ class VectorSpout : public Spout {
     if (cursor_ >= tuples_.size()) return false;
     *out = tuples_[cursor_++];
     return true;
+  }
+
+  bool NextBatch(std::vector<Tuple>* out, std::size_t max) override {
+    const std::size_t take = std::min(max, tuples_.size() - cursor_);
+    out->insert(out->end(), tuples_.begin() + static_cast<std::ptrdiff_t>(cursor_),
+                tuples_.begin() + static_cast<std::ptrdiff_t>(cursor_ + take));
+    cursor_ += take;
+    return cursor_ < tuples_.size() || take == max;
   }
 
   std::size_t size() const { return tuples_.size(); }

@@ -42,6 +42,14 @@ struct Topology {
   std::vector<StageSpec> stages;
   /// Capacity of each inter-stage queue (back-pressure bound).
   std::size_t queue_capacity = 1024;
+  /// Micro-batch bound for every inter-stage channel: each emitting worker
+  /// buffers up to this many tuples per target before handing them to the
+  /// queue as one batch (one lock acquisition + one notify). 1 disables
+  /// batching. Buffers are flushed unconditionally before any watermark or
+  /// flush broadcast and before a worker blocks on an empty input queue,
+  /// so per-channel ordering, watermark alignment, and end-of-stream
+  /// semantics are identical at any batch size.
+  std::size_t batch_max_tuples = 64;
 };
 
 /// \brief Fluent builder mirroring the structure of the paper's Fig. 2
@@ -72,6 +80,12 @@ class TopologyBuilder {
     return *this;
   }
 
+  /// Per-channel micro-batch bound (1 = unbatched; see Topology).
+  TopologyBuilder& BatchMaxTuples(std::size_t batch_max) {
+    topology_.batch_max_tuples = batch_max;
+    return *this;
+  }
+
   /// Validates and returns the plan.
   Result<Topology> Build() {
     if (!topology_.source.spout) return Status::Invalid("topology has no source");
@@ -86,6 +100,9 @@ class TopologyBuilder {
     }
     if (topology_.queue_capacity == 0) {
       return Status::Invalid("queue capacity must be > 0");
+    }
+    if (topology_.batch_max_tuples == 0) {
+      return Status::Invalid("batch_max_tuples must be > 0");
     }
     return topology_;
   }

@@ -72,6 +72,150 @@ TEST(BlockingQueueTest, BoundedPushBlocksUntilDrained) {
   EXPECT_EQ(q.Pop().value(), 2);
 }
 
+TEST(BlockingQueueTest, PushAllPopAllRoundTrip) {
+  BlockingQueue<int> q(8);
+  EXPECT_TRUE(q.PushAll({1, 2, 3, 4, 5}));
+  std::vector<int> out;
+  EXPECT_EQ(q.PopAll(&out, 3), 3u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.PopAll(&out, 100), 2u);  // appends, does not clear
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(BlockingQueueTest, PushAllLeavesSourceEmpty) {
+  BlockingQueue<int> q(8);
+  std::vector<int> batch{1, 2, 3};
+  EXPECT_TRUE(q.PushAll(std::move(batch)));
+  EXPECT_TRUE(batch.empty());  // storage handed to the queue; reserve to reuse
+  EXPECT_EQ(q.size(), 3u);
+}
+
+TEST(BlockingQueueTest, PushAllEmptyBatchIsANoOp) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.PushAll({}));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BlockingQueueTest, TryPopAllEmptyReturnsZero) {
+  BlockingQueue<int> q(4);
+  std::vector<int> out;
+  EXPECT_EQ(q.TryPopAll(&out, 16), 0u);
+  q.Push(7);
+  EXPECT_EQ(q.TryPopAll(&out, 16), 1u);
+  EXPECT_EQ(out, (std::vector<int>{7}));
+}
+
+TEST(BlockingQueueTest, PushAllFailsAfterClose) {
+  BlockingQueue<int> q(4);
+  q.Close();
+  EXPECT_FALSE(q.PushAll({1, 2}));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(BlockingQueueTest, PopAllDrainsThenStopsAfterClose) {
+  BlockingQueue<int> q(8);
+  ASSERT_TRUE(q.PushAll({1, 2, 3, 4}));
+  q.Close();
+  std::vector<int> out;
+  EXPECT_EQ(q.PopAll(&out, 3), 3u);  // drain-then-stop: items survive Close
+  EXPECT_EQ(q.PopAll(&out, 3), 1u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(q.PopAll(&out, 3), 0u);  // drained and closed
+}
+
+TEST(BlockingQueueTest, PushAllBiggerThanCapacityBackPressures) {
+  // A 10-element batch through a 2-slot queue must block for room and
+  // arrive chunked, in order, with back-pressure intact throughout.
+  BlockingQueue<int> q(2);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    std::vector<int> batch{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    EXPECT_TRUE(q.PushAll(std::move(batch)));
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // blocked: batch exceeds remaining capacity
+  std::vector<int> received;
+  while (received.size() < 10) {
+    std::vector<int> chunk;
+    const std::size_t n = q.PopAll(&chunk, 4);
+    ASSERT_GT(n, 0u);
+    EXPECT_LE(q.size(), 2u);  // capacity never exceeded mid-batch
+    received.insert(received.end(), chunk.begin(), chunk.end());
+  }
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(BlockingQueueTest, CloseUnblocksPendingPushAll) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.Push(42));
+  std::thread producer([&] {
+    EXPECT_FALSE(q.PushAll({1, 2, 3}));  // no room, then closed
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  producer.join();
+  // Drain-then-stop still applies to what made it in before the close.
+  EXPECT_EQ(q.Pop().value(), 42);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, PopAllBlocksUntilBatchArrives) {
+  BlockingQueue<int> q(16);
+  std::vector<int> out;
+  std::thread consumer([&] {
+    EXPECT_EQ(q.PopAll(&out, 16), 5u);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(q.PushAll({1, 2, 3, 4, 5}));
+  consumer.join();
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(BlockingQueueTest, BatchedMpmcDeliversEverythingExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kBatches = 50;
+  constexpr int kBatchSize = 20;
+  BlockingQueue<int> q(16);  // smaller than one batch: forces chunking
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int b = 0; b < kBatches; ++b) {
+        std::vector<int> batch;
+        batch.reserve(kBatchSize);
+        for (int i = 0; i < kBatchSize; ++i) {
+          batch.push_back(p * kBatches * kBatchSize + b * kBatchSize + i);
+        }
+        ASSERT_TRUE(q.PushAll(std::move(batch)));
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&] {
+      std::vector<int> chunk;
+      for (;;) {
+        chunk.clear();
+        const std::size_t n = q.PopAll(&chunk, 7);
+        if (n == 0) break;
+        for (int v : chunk) sum += v;
+        popped += static_cast<int>(n);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  q.Close();
+  for (std::size_t c = kProducers; c < threads.size(); ++c) threads[c].join();
+
+  const long n = kProducers * kBatches * kBatchSize;
+  EXPECT_EQ(popped.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
 TEST(BlockingQueueTest, MpmcDeliversEverythingExactlyOnce) {
   constexpr int kProducers = 4;
   constexpr int kPerProducer = 1000;

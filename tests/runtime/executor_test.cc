@@ -6,6 +6,7 @@
 
 #include "runtime/common_bolts.h"
 #include "runtime/spouts.h"
+#include "tuple/serde.h"
 
 namespace spear {
 namespace {
@@ -296,6 +297,74 @@ TEST(ExecutorTest, RepeatedRunsWithFreshSpoutsAreDeterministic) {
   EXPECT_DOUBLE_EQ(run_once(), run_once());
 }
 
+TEST(ExecutorTest, BatchSizeDoesNotChangeDeterministicOutput) {
+  // On a fully deterministic (fields-partitioned) topology, batch sizes 1
+  // and 64 must produce byte-identical output: per-channel order is
+  // preserved and sink outputs merge in task order.
+  auto run_with_batch = [](std::size_t batch_max) {
+    std::vector<Tuple> tuples;
+    for (int i = 0; i < 1000; ++i) {
+      tuples.emplace_back(
+          i, std::vector<Value>{Value("key" + std::to_string(i % 8)),
+                                Value(static_cast<double>(i))});
+    }
+    TopologyBuilder builder;
+    builder.Source(std::make_shared<VectorSpout>(std::move(tuples)),
+                   /*watermark_interval=*/100);
+    builder.BatchMaxTuples(batch_max);
+    builder.Stage("grouped", 4, Partitioner::Fields(KeyField(0)),
+                  [](int task) {
+                    return std::make_unique<MapBolt>([task](const Tuple& t) {
+                      Tuple out = t;
+                      out.AppendField(Value(static_cast<std::int64_t>(task)));
+                      return out;
+                    });
+                  });
+    auto report = Executor(std::move(*builder.Build())).Run();
+    EXPECT_TRUE(report.ok());
+    return EncodeBatch(report->output);
+  };
+  const std::string bytes_unbatched = run_with_batch(1);
+  const std::string bytes_batched = run_with_batch(64);
+  EXPECT_FALSE(bytes_unbatched.empty());
+  EXPECT_EQ(bytes_unbatched, bytes_batched);
+}
+
+TEST(ExecutorTest, BatchLargerThanQueueCapacityBackPressures) {
+  // batch_max_tuples far above queue_capacity: PushAll must chunk batches
+  // through the bound without losing tuples or deadlocking.
+  TopologyBuilder builder;
+  builder.Source(std::make_shared<VectorSpout>(NumberStream(5000)));
+  builder.QueueCapacity(2);
+  builder.BatchMaxTuples(256);
+  builder.Stage("a", 2, Partitioner::Shuffle(), [](int) {
+    return std::make_unique<MapBolt>([](const Tuple& t) { return t; });
+  });
+  builder.Stage("b", 2, Partitioner::Shuffle(), [](int) {
+    return std::make_unique<MapBolt>([](const Tuple& t) { return t; });
+  });
+  auto report = Executor(std::move(*builder.Build())).Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->output.size(), 5000u);
+}
+
+TEST(ExecutorTest, UnbatchedChannelsStillWork) {
+  // batch_max_tuples = 1 reproduces the historical per-tuple channel.
+  TopologyBuilder builder;
+  builder.Source(std::make_shared<VectorSpout>(NumberStream(500)),
+                 /*watermark_interval=*/50);
+  builder.BatchMaxTuples(1);
+  builder.Stage("fan", 3, Partitioner::Shuffle(), [](int) {
+    return std::make_unique<MapBolt>([](const Tuple& t) { return t; });
+  });
+  builder.Stage("sink", 2, Partitioner::Shuffle(), [](int) {
+    return std::make_unique<MapBolt>([](const Tuple& t) { return t; });
+  });
+  auto report = Executor(std::move(*builder.Build())).Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->output.size(), 500u);
+}
+
 TEST(TopologyBuilderTest, ValidationErrors) {
   {
     TopologyBuilder b;
@@ -318,6 +387,14 @@ TEST(TopologyBuilderTest, ValidationErrors) {
     b.Source(std::make_shared<VectorSpout>(NumberStream(1)));
     b.Stage("s", 1, Partitioner::Shuffle(), nullptr);
     EXPECT_TRUE(b.Build().status().IsInvalid());  // no factory
+  }
+  {
+    TopologyBuilder b;
+    b.Source(std::make_shared<VectorSpout>(NumberStream(1)));
+    b.Stage("s", 1, Partitioner::Shuffle(),
+            [](int) { return std::make_unique<MapBolt>(nullptr); });
+    b.BatchMaxTuples(0);
+    EXPECT_TRUE(b.Build().status().IsInvalid());  // batch bound 0
   }
 }
 
