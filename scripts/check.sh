@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full local check: configure, build, run every test, then every bench.
+# Full local check: configure, build, run every test, an ASan pass over
+# the fault-injection suites, then every bench.
 # Usage: scripts/check.sh [build-dir]
 set -euo pipefail
 
@@ -9,6 +10,9 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 cmake -S "$ROOT" -B "$ROOT/$BUILD_DIR" -G Ninja
 cmake --build "$ROOT/$BUILD_DIR"
 ctest --test-dir "$ROOT/$BUILD_DIR" -j"$(nproc)" --output-on-failure
+
+# Chaos paths (exception unwinding, cancellation, quarantine) under ASan.
+"$ROOT/scripts/check_asan.sh" "$BUILD_DIR-asan"
 
 for bench in "$ROOT/$BUILD_DIR"/bench/bench_*; do
   [ -x "$bench" ] || continue

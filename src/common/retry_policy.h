@@ -1,0 +1,172 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+
+/// \file retry_policy.h
+/// Bounded retry with exponential backoff and deterministic jitter, plus
+/// the failure taxonomy the supervised runtime is built on:
+///
+///  * transient — a dependency hiccup (storage unavailable); retrying the
+///    same operation may succeed, so supervised callers retry it under a
+///    RetryPolicy before giving up.
+///  * data — the input itself is bad (malformed/out-of-range tuple);
+///    retrying cannot help, but the failure is confined to one tuple, so
+///    the executor quarantines it to the dead-letter channel and the run
+///    continues.
+///  * fatal — a bug or broken invariant (internal errors, I/O corruption);
+///    the run is cancelled, exactly as before supervision existed.
+
+namespace spear {
+
+/// \brief Coarse classification of a failure, driving supervision.
+enum class FailureClass : std::uint8_t { kTransient, kData, kFatal };
+
+inline FailureClass ClassifyFailure(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+      return FailureClass::kTransient;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kAlreadyExists:
+      return FailureClass::kData;
+    default:
+      return FailureClass::kFatal;
+  }
+}
+
+/// \brief Bounded exponential backoff: attempt k (0-based) sleeps
+/// `initial * multiplier^k`, capped at `max_backoff_ns`, with +/- `jitter`
+/// fraction of deterministic (seeded) noise. The whole retry sequence is
+/// budgeted both by attempts and by wall clock.
+struct RetryPolicy {
+  /// Total attempts, including the first one. 1 = never retry.
+  int max_attempts = 1;
+  std::int64_t initial_backoff_ns = 1'000'000;  // 1 ms
+  double backoff_multiplier = 2.0;
+  std::int64_t max_backoff_ns = 50'000'000;  // 50 ms
+  /// Fraction of the delay randomized symmetrically around it, in [0, 1).
+  double jitter = 0.2;
+  /// Wall-clock budget across all attempts; <= 0 means unbudgeted.
+  std::int64_t wall_clock_budget_ns = 2'000'000'000;  // 2 s
+
+  /// No retries (the pre-supervision behaviour for transient errors).
+  static RetryPolicy None() { return RetryPolicy{}; }
+
+  /// A small default suitable for simulated-storage hiccups.
+  static RetryPolicy Default() {
+    RetryPolicy p;
+    p.max_attempts = 4;
+    p.initial_backoff_ns = 200'000;  // 0.2 ms
+    return p;
+  }
+
+  bool enabled() const { return max_attempts > 1; }
+
+  Status Validate() const {
+    if (max_attempts < 1) {
+      return Status::Invalid("retry max_attempts must be >= 1");
+    }
+    if (initial_backoff_ns < 0 || max_backoff_ns < 0) {
+      return Status::Invalid("retry backoff must be >= 0");
+    }
+    if (backoff_multiplier < 1.0) {
+      return Status::Invalid("retry backoff_multiplier must be >= 1");
+    }
+    if (jitter < 0.0 || jitter >= 1.0) {
+      return Status::Invalid("retry jitter must be in [0, 1)");
+    }
+    return Status::OK();
+  }
+};
+
+/// \brief One retry sequence's state: yields the next backoff delay until
+/// the attempt or wall-clock budget runs out. Deterministic for a given
+/// (policy, seed).
+class Backoff {
+ public:
+  Backoff(const RetryPolicy& policy, std::uint64_t seed)
+      : policy_(policy),
+        rng_(seed),
+        deadline_ns_(policy.wall_clock_budget_ns > 0
+                         ? NowNs() + policy.wall_clock_budget_ns
+                         : 0) {}
+
+  /// True (with the delay to sleep) while another attempt is allowed;
+  /// false once attempts or wall clock are exhausted.
+  bool NextDelay(std::int64_t* delay_ns) {
+    if (attempt_ + 1 >= policy_.max_attempts) return false;
+    if (deadline_ns_ != 0 && NowNs() >= deadline_ns_) return false;
+    double delay = static_cast<double>(policy_.initial_backoff_ns);
+    for (int k = 0; k < attempt_; ++k) delay *= policy_.backoff_multiplier;
+    delay = std::min(delay, static_cast<double>(policy_.max_backoff_ns));
+    if (policy_.jitter > 0.0) {
+      // Symmetric jitter in [-j, +j] around the nominal delay.
+      const double u =
+          static_cast<double>(rng_.Next() >> 11) * 0x1p-53;  // [0, 1)
+      delay *= 1.0 + policy_.jitter * (2.0 * u - 1.0);
+    }
+    *delay_ns = std::max<std::int64_t>(static_cast<std::int64_t>(delay), 0);
+    ++attempt_;
+    return true;
+  }
+
+  /// Retries performed so far (0 before the first NextDelay).
+  int retries() const { return attempt_; }
+
+ private:
+  const RetryPolicy policy_;
+  SplitMix64 rng_;
+  int attempt_ = 0;
+  const std::int64_t deadline_ns_;
+};
+
+/// \brief Sleeps ~`delay_ns`, waking early if `*cancelled` flips — a
+/// cancelled run must not serve out its backoff schedule first.
+inline void BackoffSleep(std::int64_t delay_ns,
+                         const std::atomic<bool>* cancelled = nullptr) {
+  constexpr std::int64_t kChunkNs = 1'000'000;  // re-check cancel every 1 ms
+  while (delay_ns > 0) {
+    if (cancelled != nullptr && cancelled->load(std::memory_order_relaxed)) {
+      return;
+    }
+    const std::int64_t chunk = std::min(delay_ns, kChunkNs);
+    std::this_thread::sleep_for(std::chrono::nanoseconds(chunk));
+    delay_ns -= chunk;
+  }
+}
+
+/// \brief Runs `op` (a callable returning Status), retrying transient
+/// failures under `policy`. Bumps `*retries` per retry and `*recovered`
+/// once if a retry eventually succeeded.
+template <typename Op>
+Status RetryTransient(const RetryPolicy& policy, std::uint64_t seed, Op&& op,
+                      std::uint64_t* retries = nullptr,
+                      std::uint64_t* recovered = nullptr,
+                      const std::atomic<bool>* cancelled = nullptr) {
+  Backoff backoff(policy, seed);
+  Status status = op();
+  while (!status.ok() &&
+         ClassifyFailure(status) == FailureClass::kTransient) {
+    if (cancelled != nullptr && cancelled->load(std::memory_order_relaxed)) {
+      break;
+    }
+    std::int64_t delay_ns = 0;
+    if (!backoff.NextDelay(&delay_ns)) break;
+    BackoffSleep(delay_ns, cancelled);
+    if (retries != nullptr) ++*retries;
+    status = op();
+    if (status.ok() && recovered != nullptr) ++*recovered;
+  }
+  return status;
+}
+
+}  // namespace spear

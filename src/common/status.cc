@@ -28,6 +28,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "io-error";
     case StatusCode::kCancelled:
       return "cancelled";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

@@ -26,6 +26,9 @@ enum class StatusCode : std::uint8_t {
   kInternal,
   kIOError,
   kCancelled,
+  /// Transient failure of a remote dependency (e.g. secondary storage):
+  /// the operation may succeed if retried.
+  kUnavailable,
 };
 
 /// \brief Returns the canonical lowercase name of a status code
@@ -75,6 +78,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -94,6 +100,7 @@ class Status {
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "ok" or "<code>: <message>".
   std::string ToString() const;

@@ -25,10 +25,15 @@ Status SpearBolt::Prepare(const BoltContext& ctx) {
   manager_ = std::make_unique<SpearWindowManager>(
       config_, value_extractor_, key_extractor_, storage_,
       "spear-bolt-" + std::to_string(ctx.task_id));
+  manager_->SetMetrics(ctx.metrics);
   return Status::OK();
 }
 
 Status SpearBolt::Execute(const Tuple& tuple, Emitter* out) {
+  // Admission check before any state mutation: a rejected tuple is a data
+  // error the supervised executor quarantines; nothing was ingested, so
+  // window state stays consistent.
+  if (config_.validate) SPEAR_RETURN_NOT_OK(config_.validate(tuple));
   std::int64_t coord;
   if (config_.window.type == WindowType::kCountBased) {
     coord = sequence_++;
@@ -37,7 +42,15 @@ Status SpearBolt::Execute(const Tuple& tuple, Emitter* out) {
   }
   manager_->OnTuple(coord, tuple);
   if (config_.window.type == WindowType::kCountBased) {
-    return ProcessWatermark(sequence_, out);
+    // The tuple is already ingested, so this Execute is no longer
+    // idempotent: a transient emission failure must not look retryable to
+    // the supervising executor (a retry would double-ingest the tuple).
+    Status emitted = ProcessWatermark(sequence_, out);
+    if (!emitted.ok() && emitted.IsUnavailable()) {
+      return Status::Internal("window emission failed after retries: " +
+                              emitted.message());
+    }
+    return emitted;
   }
   return Status::OK();
 }

@@ -41,6 +41,10 @@ class SpearBolt : public Bolt {
     return manager_->decision_stats();
   }
 
+  /// The underlying manager (valid after Prepare). Chaos tests reach
+  /// through it for hooks like CorruptBudgetForTesting.
+  SpearWindowManager* manager() { return manager_.get(); }
+
  private:
   Status ProcessWatermark(std::int64_t watermark, Emitter* out);
 

@@ -4,12 +4,14 @@
 #include <mutex>
 #include <vector>
 
+#include "common/retry_policy.h"
 #include "core/accuracy_spec.h"
 #include "core/budget_controller.h"
 #include "core/estimators.h"
 #include "ops/aggregate.h"
 #include "stats/error_metrics.h"
 #include "stats/sample_size.h"
+#include "tuple/field_extractor.h"
 #include "window/window_spec.h"
 
 /// \file spear_config.h
@@ -66,9 +68,20 @@ struct SpearOperatorConfig {
   /// Seed for the reservoir samplers (deterministic experiments).
   std::uint64_t seed = 0x5EA4;
 
+  /// Retry policy for transient secondary-storage failures (spill and
+  /// unspill). Storage retries live inside the window manager, not the
+  /// executor, because re-executing a whole tuple would double-ingest it.
+  RetryPolicy storage_retry = RetryPolicy::Default();
+
+  /// Optional admission check (see RequireNumericFields): a tuple it
+  /// rejects is surfaced as a data error — quarantined by the supervised
+  /// executor — before touching window state.
+  TupleValidator validate;
+
   Status Validate() const {
     SPEAR_RETURN_NOT_OK(accuracy.Validate());
     SPEAR_RETURN_NOT_OK(budget.Validate());
+    SPEAR_RETURN_NOT_OK(storage_retry.Validate());
     if (!window.IsValid()) return Status::Invalid("invalid window spec");
     if (aggregate.kind == AggregateKind::kPercentile &&
         !(aggregate.phi >= 0.0 && aggregate.phi <= 1.0)) {
@@ -84,6 +97,9 @@ struct DecisionStats {
   std::uint64_t windows_total = 0;
   std::uint64_t windows_expedited = 0;
   std::uint64_t windows_exact = 0;
+  /// Windows whose exact fallback could not run (spilled state unavailable
+  /// after retries) and that were emitted as degraded approximations.
+  std::uint64_t windows_degraded = 0;
   /// Tuples ingested at tuple arrival (across all windows).
   std::uint64_t tuples_seen = 0;
   /// Tuples aggregated at watermark arrival (sample sizes on the
@@ -103,6 +119,7 @@ struct DecisionStats {
     windows_total += other.windows_total;
     windows_expedited += other.windows_expedited;
     windows_exact += other.windows_exact;
+    windows_degraded += other.windows_degraded;
     tuples_seen += other.tuples_seen;
     tuples_processed += other.tuples_processed;
     late_tuples += other.late_tuples;

@@ -1,6 +1,7 @@
 #include "core/spear_topology_builder.h"
 
 #include "runtime/common_bolts.h"
+#include "runtime/fault_injection.h"
 #include "runtime/gk_quantile_bolt.h"
 
 namespace spear {
@@ -159,6 +160,28 @@ SpearTopologyBuilder& SpearTopologyBuilder::CollectDecisions(
   return *this;
 }
 
+SpearTopologyBuilder& SpearTopologyBuilder::ValidateTuples(
+    TupleValidator validator) {
+  config_.validate = std::move(validator);
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::StorageRetry(RetryPolicy policy) {
+  config_.storage_retry = policy;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::StageRetry(RetryPolicy policy) {
+  stage_retry_ = policy;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::InjectFaults(
+    FaultInjector* injector) {
+  fault_injector_ = injector;
+  return *this;
+}
+
 SpearTopologyBuilder& SpearTopologyBuilder::Engine(ExecutionEngine engine) {
   engine_ = engine;
   return *this;
@@ -205,8 +228,19 @@ Result<Topology> SpearTopologyBuilder::Build() const {
   }
 
   TopologyBuilder builder;
-  builder.Source(spout_, watermark_interval_, max_lateness_);
+  // Chaos wiring: perturb the stream at the source when any spout site is
+  // armed; the stateful bolts are wrapped below.
+  std::shared_ptr<Spout> source = spout_;
+  if (fault_injector_ != nullptr &&
+      (fault_injector_->armed(FaultSite::kSpoutMalformed) ||
+       fault_injector_->armed(FaultSite::kSpoutDuplicate) ||
+       fault_injector_->armed(FaultSite::kSpoutLate))) {
+    source = std::make_shared<FaultInjectingSpout>(spout_, fault_injector_);
+  }
+  builder.Source(std::move(source), watermark_interval_, max_lateness_);
   builder.QueueCapacity(queue_capacity_);
+  builder.InjectFaults(fault_injector_);
+  builder.RegisterStorage(storage_);
 
   if (has_time_stage_) {
     const std::size_t field = time_field_;
@@ -229,15 +263,18 @@ Result<Topology> SpearTopologyBuilder::Build() const {
   SecondaryStorage* storage = storage_;
   const ExecutionEngine engine = engine_;
   DecisionStatsCollector* decision_sink = decision_sink_;
+  FaultInjector* injector = fault_injector_;
 
   builder.Stage(
       StatefulStageName(), parallelism_, std::move(input),
-      [config, value, key, storage, engine,
-       decision_sink](int) -> std::unique_ptr<Bolt> {
+      [config, value, key, storage, engine, decision_sink,
+       injector](int) -> std::unique_ptr<Bolt> {
+        std::unique_ptr<Bolt> bolt;
         switch (engine) {
           case ExecutionEngine::kSpear:
-            return std::make_unique<SpearBolt>(config, value, key, storage,
+            bolt = std::make_unique<SpearBolt>(config, value, key, storage,
                                                decision_sink);
+            break;
           case ExecutionEngine::kExact:
           case ExecutionEngine::kExactMulti: {
             ExactWindowedBoltConfig exact;
@@ -248,22 +285,33 @@ Result<Topology> SpearTopologyBuilder::Build() const {
             exact.use_multi_buffer = engine == ExecutionEngine::kExactMulti;
             exact.memory_capacity = config.buffer_memory_capacity;
             exact.storage = storage;
-            return std::make_unique<ExactWindowedBolt>(std::move(exact));
+            bolt = std::make_unique<ExactWindowedBolt>(std::move(exact));
+            break;
           }
           case ExecutionEngine::kIncremental:
-            return std::make_unique<IncrementalWindowedBolt>(
+            bolt = std::make_unique<IncrementalWindowedBolt>(
                 config.window, config.aggregate, value, key);
+            break;
           case ExecutionEngine::kCountMin:
-            return std::make_unique<CountMinWindowedBolt>(
+            bolt = std::make_unique<CountMinWindowedBolt>(
                 config.window, value, key, config.accuracy.epsilon,
                 config.accuracy.confidence);
+            break;
           case ExecutionEngine::kGkQuantile:
-            return std::make_unique<GkQuantileBolt>(
+            bolt = std::make_unique<GkQuantileBolt>(
                 config.window, value, config.aggregate.phi,
                 config.accuracy.epsilon);
+            break;
         }
-        return nullptr;
+        if (bolt != nullptr && injector != nullptr &&
+            (injector->armed(FaultSite::kBoltProcess) ||
+             injector->armed(FaultSite::kBoltWatermark))) {
+          bolt = std::make_unique<FaultInjectingBolt>(std::move(bolt),
+                                                      injector);
+        }
+        return bolt;
       });
+  builder.StageRetry(stage_retry_);
 
   return builder.Build();
 }

@@ -94,6 +94,26 @@ class SpearTopologyBuilder {
   /// engine only; the harness for Figs. 10-12 uses this).
   SpearTopologyBuilder& CollectDecisions(DecisionStatsCollector* sink);
 
+  // ---- robustness ---------------------------------------------------------
+  /// Admission check run before each tuple is ingested into window state;
+  /// rejected tuples become quarantined dead letters (see
+  /// RequireNumericFields).
+  SpearTopologyBuilder& ValidateTuples(TupleValidator validator);
+
+  /// Retry policy for transient secondary-storage failures inside the
+  /// stateful operator (spill/unspill).
+  SpearTopologyBuilder& StorageRetry(RetryPolicy policy);
+
+  /// Retry policy for transient Execute failures at the stateful stage
+  /// (executor-level supervision).
+  SpearTopologyBuilder& StageRetry(RetryPolicy policy);
+
+  /// Chaos testing: wires `injector` into the compiled plan — the spout
+  /// and stateful bolts are wrapped with the fault-injecting decorators
+  /// for whichever sites the plan arms, and the storage (when registered
+  /// via SpillOver) should be given the same injector by the caller.
+  SpearTopologyBuilder& InjectFaults(FaultInjector* injector);
+
   // ---- execution configuration ------------------------------------------
   SpearTopologyBuilder& Engine(ExecutionEngine engine);
   SpearTopologyBuilder& Parallelism(int workers);
@@ -126,6 +146,8 @@ class SpearTopologyBuilder {
   SecondaryStorage* storage_ = nullptr;
   std::size_t queue_capacity_ = 1024;
   DecisionStatsCollector* decision_sink_ = nullptr;
+  RetryPolicy stage_retry_ = RetryPolicy::None();
+  FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace spear

@@ -107,12 +107,15 @@ void SpearWindowManager::UpdateWindowState(WindowState* state,
     case SpearMode::kScalarSampled:
     case SpearMode::kScalarQuantile:
       state->stats.Update(value);
-      state->sample->Offer(value);
+      // Null after budget-state corruption: the window is already doomed
+      // to the exact fallback, so just stop feeding the estimate.
+      if (state->sample) state->sample->Offer(value);
       break;
     case SpearMode::kGroupedUnknown:
-      state->groups->Update(key_extractor_(tuple), value);
+      if (state->groups) state->groups->Update(key_extractor_(tuple), value);
       break;
     case SpearMode::kGroupedKnown: {
+      if (state->groups == nullptr) break;  // corrupted: exact fallback
       const std::string key = key_extractor_(tuple);
       state->groups->Update(key, value);
       auto it = state->group_samples.find(key);
@@ -172,19 +175,57 @@ void SpearWindowManager::OnTuple(std::int64_t coord, Tuple tuple) {
     Tuple payload = std::move(tuple);
     payload.AppendField(Value(payload.event_time()));
     payload.set_event_time(coord);
-    storage_->Store(spill_key_ + "/" + std::to_string(spill_seq_),
-                    std::move(payload));
-    spilled_coords_.push_back(coord);
+    const Status stored = StoreWithRetry(
+        spill_key_ + "/" + std::to_string(spill_seq_), payload);
+    if (stored.ok()) {
+      spilled_coords_.push_back(coord);
+      return;
+    }
+    // S stayed unavailable after retries: keep the tuple in memory past
+    // the budget rather than lose it — degraded custody, not data loss.
+    ++spill_failures_;
+    payload.set_event_time(payload.PopField().AsInt64());
+    buffer_.push_back(Entry{coord, std::move(payload)});
     return;
   }
   buffer_.push_back(Entry{coord, std::move(tuple)});
 }
 
+Status SpearWindowManager::StoreWithRetry(const std::string& key,
+                                          const Tuple& payload) {
+  std::uint64_t retries = 0;
+  std::uint64_t recovered = 0;
+  const Status stored = RetryTransient(
+      config_.storage_retry, config_.seed ^ (spill_seq_ + 0x5702EULL),
+      [&] { return storage_->Store(key, payload); }, &retries, &recovered);
+  if (metrics_ != nullptr) {
+    metrics_->AddRetries(retries);
+    metrics_->AddRecovered(recovered);
+  }
+  return stored;
+}
+
 Status SpearWindowManager::UnspillAll() {
   if (spilled_coords_.empty()) return Status::OK();
-  SPEAR_ASSIGN_OR_RETURN(
-      std::vector<Tuple> run,
-      storage_->Get(spill_key_ + "/" + std::to_string(spill_seq_)));
+  const std::string key = spill_key_ + "/" + std::to_string(spill_seq_);
+  Result<std::vector<Tuple>> fetched = storage_->Get(key);
+  {
+    // Retry transient Get failures under the same policy as spills
+    // (RetryTransient only fits Status-returning ops).
+    Backoff backoff(config_.storage_retry,
+                    config_.seed ^ (spill_seq_ + 0xD0D0ULL));
+    std::int64_t delay_ns = 0;
+    while (!fetched.ok() &&
+           ClassifyFailure(fetched.status()) == FailureClass::kTransient &&
+           backoff.NextDelay(&delay_ns)) {
+      BackoffSleep(delay_ns);
+      if (metrics_ != nullptr) metrics_->AddRetries(1);
+      fetched = storage_->Get(key);
+      if (fetched.ok() && metrics_ != nullptr) metrics_->AddRecovered(1);
+    }
+  }
+  if (!fetched.ok()) return fetched.status();
+  std::vector<Tuple> run = std::move(fetched).ValueOrDie();
   for (auto& t : run) {
     const std::int64_t coord = t.event_time();
     t.set_event_time(t.PopField().AsInt64());
@@ -317,6 +358,98 @@ Result<CompleteWindow> SpearWindowManager::MaterializeWindow(
   return window;
 }
 
+bool SpearWindowManager::BudgetStateCorrupted(const WindowState& state) const {
+  switch (mode_) {
+    case SpearMode::kScalarIncremental:
+    case SpearMode::kScalarSampled:
+    case SpearMode::kScalarQuantile:
+      return state.sample == nullptr ||
+             state.sample->sample().size() > state.count;
+    case SpearMode::kGroupedUnknown:
+    case SpearMode::kGroupedKnown:
+      return state.groups == nullptr;
+  }
+  return true;
+}
+
+void SpearWindowManager::CorruptBudgetForTesting() {
+  for (auto& [start, state] : window_states_) {
+    state.sample.reset();
+    state.groups.reset();
+    state.group_samples.clear();
+  }
+}
+
+Result<WindowResult> SpearWindowManager::MakeDegradedResult(
+    const WindowBounds& bounds, WindowState* state) {
+  WindowResult result;
+  result.bounds = bounds;
+  result.window_size = state->count;
+  result.approximate = true;
+  result.degraded = true;
+
+  switch (mode_) {
+    case SpearMode::kScalarIncremental:
+    case SpearMode::kScalarSampled:
+    case SpearMode::kScalarQuantile: {
+      // Emit the sample estimate even though it failed the budget test;
+      // ε̂_w documents the (unmet) accuracy.
+      SPEAR_ASSIGN_OR_RETURN(const ScalarEstimate est,
+                             EstimateScalarForState(*state));
+      result.scalar = est.estimate;
+      result.estimated_error = est.epsilon_hat;
+      result.tuples_processed = state->sample->sample().size();
+      return result;
+    }
+    case SpearMode::kGroupedKnown: {
+      SPEAR_ASSIGN_OR_RETURN(
+          const GroupedEstimate est,
+          EstimateGrouped(config_.aggregate, *state->groups, state->budget,
+                          config_.accuracy, config_.group_error_norm,
+                          config_.quantile_bound));
+      result.estimated_error = est.epsilon_hat;
+      SPEAR_RETURN_NOT_OK(PopulateGroupedResultFromReservoirs(*state, &result));
+      return result;
+    }
+    case SpearMode::kGroupedUnknown: {
+      // The stratified sample would need the raw window (partly in S).
+      // Non-holistic aggregates can still be answered from the tracker's
+      // per-group moments; holistic ones cannot degrade at all.
+      if (config_.aggregate.IsHolistic()) {
+        return Status::Unavailable(
+            "cannot degrade holistic grouped window: spilled tuples "
+            "unavailable");
+      }
+      SPEAR_ASSIGN_OR_RETURN(
+          const GroupedEstimate est,
+          EstimateGrouped(config_.aggregate, *state->groups, state->budget,
+                          config_.accuracy, config_.group_error_norm,
+                          config_.quantile_bound));
+      result.estimated_error = est.epsilon_hat;
+      result.is_grouped = true;
+      result.groups.reserve(state->groups->num_groups());
+      std::uint64_t processed = 0;
+      for (const auto& [key, stats] : state->groups->groups()) {
+        double v = 0.0;
+        if (config_.aggregate.kind == AggregateKind::kCount) {
+          v = static_cast<double>(stats.count());
+        } else if (config_.aggregate.kind == AggregateKind::kSum) {
+          v = stats.mean() * static_cast<double>(stats.count());
+        } else {
+          SPEAR_ASSIGN_OR_RETURN(v, EvaluateFromStats(config_.aggregate,
+                                                      stats));
+        }
+        result.groups.emplace_back(key, v);
+        processed += stats.count();
+      }
+      std::sort(result.groups.begin(), result.groups.end());
+      result.tuples_processed = processed;
+      return result;
+    }
+  }
+  return Status::Internal("unknown mode");
+}
+
 Result<WindowResult> SpearWindowManager::DecideWindow(
     const WindowBounds& bounds, WindowState* state, bool* needs_scan,
     bool* needs_exact) {
@@ -326,6 +459,13 @@ Result<WindowResult> SpearWindowManager::DecideWindow(
   WindowResult result;
   result.bounds = bounds;
   result.window_size = state->count;
+
+  // Corrupted budget state means no estimate can be trusted: fall back to
+  // the exact path (the safe direction of the degradation trade).
+  if (BudgetStateCorrupted(*state)) {
+    *needs_exact = true;
+    return result;
+  }
 
   switch (mode_) {
     case SpearMode::kScalarIncremental: {
@@ -454,40 +594,71 @@ Result<std::vector<WindowResult>> SpearWindowManager::OnWatermark(
       ++decision_stats_.windows_total;
       bool needs_scan = false;
       bool needs_exact = false;
+      bool degraded = false;
 
       std::int64_t window_ns = 0;
       WindowResult result;
       {
         ScopedTimerNs timer(&window_ns);
         // The grouped accept path scans the buffer; make sure spilled
-        // tuples participate in the stratified sample.
+        // tuples participate in the stratified sample. An unavailable S
+        // here is survivable: the decision below falls back to the
+        // tracker-only degraded path.
+        bool unspill_failed = false;
         if ((mode_ == SpearMode::kGroupedUnknown) &&
             !spilled_coords_.empty()) {
-          SPEAR_RETURN_NOT_OK(UnspillAll());
+          const Status fetched = UnspillAll();
+          if (!fetched.ok()) {
+            if (!fetched.IsUnavailable()) return fetched;
+            unspill_failed = true;
+          }
         }
-        SPEAR_ASSIGN_OR_RETURN(
-            result, DecideWindow(bounds, &state_it->second, &needs_scan,
-                                 &needs_exact));
+        if (unspill_failed) {
+          needs_exact = true;
+        } else {
+          SPEAR_ASSIGN_OR_RETURN(
+              result, DecideWindow(bounds, &state_it->second, &needs_scan,
+                                   &needs_exact));
+        }
         if (needs_exact) {
           // Alg. 2 line 5: g(S.get(tau_w)) — the whole window, possibly
           // fetched back from S, processed exactly.
-          SPEAR_RETURN_NOT_OK(UnspillAll());
-          SPEAR_ASSIGN_OR_RETURN(CompleteWindow window,
-                                 MaterializeWindow(bounds));
-          SPEAR_ASSIGN_OR_RETURN(result, exact_operator_.Process(window));
+          const Status fetched =
+              unspill_failed ? Status::Unavailable("spill run unavailable")
+                             : UnspillAll();
+          if (fetched.ok()) {
+            SPEAR_ASSIGN_OR_RETURN(CompleteWindow window,
+                                   MaterializeWindow(bounds));
+            SPEAR_ASSIGN_OR_RETURN(result, exact_operator_.Process(window));
+          } else if (fetched.IsUnavailable() &&
+                     !BudgetStateCorrupted(state_it->second)) {
+            // The exact fallback cannot run (S stayed unavailable after
+            // retries). Degrade: emit the budget estimate, flagged.
+            SPEAR_ASSIGN_OR_RETURN(
+                result, MakeDegradedResult(bounds, &state_it->second));
+            degraded = true;
+          } else {
+            return fetched;
+          }
         }
       }
       result.processing_ns = window_ns;
-      if (needs_exact) {
+      if (degraded) {
+        ++decision_stats_.windows_degraded;
+        if (metrics_ != nullptr) metrics_->AddDegradedWindows(1);
+      } else if (needs_exact) {
         ++decision_stats_.windows_exact;
       } else {
         ++decision_stats_.windows_expedited;
       }
       if (budget_controller_) {
+        // A degraded window counts as a fallback for budget adaptation: a
+        // bigger sample makes the next degradation less inaccurate.
         budget_controller_->OnWindowOutcome(
             !needs_exact,
-            result.approximate ? result.estimated_error
-                               : std::numeric_limits<double>::infinity(),
+            result.approximate && !degraded
+                ? result.estimated_error
+                : std::numeric_limits<double>::infinity(),
             config_.accuracy.epsilon);
       }
       decision_stats_.tuples_processed += result.tuples_processed;

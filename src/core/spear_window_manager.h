@@ -11,6 +11,7 @@
 #include "core/spear_config.h"
 #include "ops/exact_operator.h"
 #include "ops/window_result.h"
+#include "runtime/metrics.h"
 #include "stats/group_stats.h"
 #include "stats/reservoir_sampler.h"
 #include "storage/secondary_storage.h"
@@ -92,6 +93,19 @@ class SpearWindowManager {
   const SpearOperatorConfig& config() const { return config_; }
   const DecisionStats& decision_stats() const { return decision_stats_; }
 
+  /// Wires the owning worker's metrics (fault counters: storage retries,
+  /// recoveries, degraded windows). Optional; null disables reporting.
+  void SetMetrics(WorkerMetrics* metrics) { metrics_ = metrics; }
+
+  /// Spill attempts that stayed transiently failed after retries; the
+  /// affected tuples were kept in memory past the budget instead.
+  std::uint64_t spill_failures() const { return spill_failures_; }
+
+  /// Test hook: wipes the budget state (samplers/trackers) of every
+  /// active window, simulating corruption. Subsequent decisions detect it
+  /// and fall back to exact processing.
+  void CorruptBudgetForTesting();
+
   /// Tuples currently buffered (memory + spill).
   std::size_t BufferedTuples() const {
     return buffer_.size() + spilled_coords_.size();
@@ -168,6 +182,23 @@ class SpearWindowManager {
   /// Materializes a window's tuples for exact processing.
   Result<CompleteWindow> MaterializeWindow(const WindowBounds& bounds);
 
+  /// True when the window's budget state is internally inconsistent (null
+  /// sampler/tracker, or a sample larger than the window): the estimate
+  /// cannot be trusted, so the decision falls back to exact.
+  bool BudgetStateCorrupted(const WindowState& state) const;
+
+  /// Emits the window from the budget sample even though the decision
+  /// demanded exact processing (spilled state unavailable after retries):
+  /// the AF-Stream trade of accuracy for availability. Holistic grouped
+  /// windows cannot degrade (their result needs the raw window) and
+  /// propagate the storage error instead.
+  Result<WindowResult> MakeDegradedResult(const WindowBounds& bounds,
+                                          WindowState* state);
+
+  /// storage_->Store under config_.storage_retry, reporting retry counts
+  /// to the worker metrics.
+  Status StoreWithRetry(const std::string& key, const Tuple& payload);
+
   Status UnspillAll();
   void EvictExpired();
 
@@ -192,6 +223,9 @@ class SpearWindowManager {
   bool saw_any_tuple_ = false;
   std::int64_t last_watermark_;
   std::uint64_t sampler_seq_ = 0;
+
+  WorkerMetrics* metrics_ = nullptr;
+  std::uint64_t spill_failures_ = 0;
 
   DecisionStats decision_stats_;
 };

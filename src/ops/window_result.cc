@@ -31,6 +31,7 @@ std::string WindowResult::ToString() const {
                   static_cast<unsigned long long>(window_size));
     out += buf;
   }
+  if (degraded) out += " [degraded]";
   return out;
 }
 

@@ -27,6 +27,11 @@ struct WindowResult {
 
   /// True when produced from a sample (SPEAr's expedited path).
   bool approximate = false;
+  /// True when the decision demanded the exact fallback but its spilled
+  /// state stayed unavailable after retries, so the window was emitted
+  /// from the sample *without* meeting the accuracy spec. `approximate`
+  /// is also true and `estimated_error` carries the (unmet) estimate.
+  bool degraded = false;
   /// The estimator's error bound for this window (only meaningful when
   /// `approximate` is true).
   double estimated_error = 0.0;

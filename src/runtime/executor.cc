@@ -1,11 +1,14 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
+#include <exception>
 #include <iterator>
 #include <thread>
 
 #include "common/logging.h"
+#include "common/retry_policy.h"
 #include "common/time.h"
+#include "storage/secondary_storage.h"
 #include "window/watermark.h"
 
 namespace spear {
@@ -44,6 +47,21 @@ struct Executor::Element {
 namespace {
 
 using ElementQueue = BlockingQueue<Executor::Element>;
+
+/// Converts whatever a bolt callback throws into a Status of `code`.
+/// Bolts are supposed to be exception-free (the Status idiom), but a
+/// supervised runtime must not let one escaping exception tear the
+/// process down via std::terminate on the worker thread.
+template <typename Fn>
+Status GuardedBoltCall(StatusCode code, const char* what, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const std::exception& ex) {
+    return Status(code, std::string(what) + " threw: " + ex.what());
+  } catch (...) {
+    return Status(code, std::string(what) + " threw a non-std exception");
+  }
+}
 
 }  // namespace
 
@@ -137,6 +155,10 @@ Result<RunReport> Executor::Run() {
 
   RunReport report;
 
+  // Re-arm the storages' simulated latency (a previous cancelled run may
+  // have tripped their stop flag).
+  for (SecondaryStorage* s : topology_.storages) s->ResetSimulatedLatency();
+
   // --- Wiring (single-threaded setup) ------------------------------------
   // queues[i][t]: input queue of stage i, task t.
   std::vector<std::vector<std::unique_ptr<ElementQueue>>> queues(num_stages);
@@ -150,24 +172,43 @@ Result<RunReport> Executor::Run() {
 
   // One private output vector per sink-stage worker, merged after join in
   // task order (no cross-worker ordering is promised, with or without the
-  // merge — per-worker order is what stays deterministic).
+  // merge — per-worker order is what stays deterministic). Dead letters
+  // follow the same pattern across every stage's workers.
   std::vector<std::vector<Tuple>> sink_outputs(
       static_cast<std::size_t>(topology_.stages[num_stages - 1].parallelism));
+  std::size_t total_workers = 0;
+  for (const StageSpec& s : topology_.stages) {
+    total_workers += static_cast<std::size_t>(s.parallelism);
+  }
+  std::vector<std::vector<DeadLetter>> worker_dead_letters(total_workers);
 
   std::mutex error_mutex;
   Status first_error = Status::OK();
+  std::vector<Status> suppressed_errors;
   std::atomic<bool> failed{false};
 
+  // Keeps the *first* error deterministically; later distinct errors are
+  // appended to the suppressed list (duplicates dropped) so multi-worker
+  // failures stay debuggable instead of silently losing all but one.
   auto record_error = [&](const Status& status) {
-    bool expected = false;
-    if (failed.compare_exchange_strong(expected, true)) {
+    {
       std::lock_guard<std::mutex> lock(error_mutex);
-      first_error = status;
+      bool expected = false;
+      if (failed.compare_exchange_strong(expected, true)) {
+        first_error = status;
+      } else if (!(status == first_error) &&
+                 std::find(suppressed_errors.begin(), suppressed_errors.end(),
+                           status) == suppressed_errors.end()) {
+        suppressed_errors.push_back(status);
+      }
     }
-    // Unblock everyone: closing the queues makes pending Push/Pop return.
+    // Unblock everyone: closing the queues makes pending Push/Pop return,
+    // and cancelling simulated storage latency makes workers unwinding
+    // through a storage call stop busy-waiting.
     for (auto& stage_queues : queues) {
       for (auto& q : stage_queues) q->Close();
     }
+    for (SecondaryStorage* s : topology_.storages) s->CancelSimulatedLatency();
   };
 
   auto queues_of_stage = [&](std::size_t i) {
@@ -178,8 +219,9 @@ Result<RunReport> Executor::Run() {
 
   // --- Worker threads -----------------------------------------------------
   std::vector<std::thread> threads;
-  threads.reserve(1 + num_stages * 8);
+  threads.reserve(1 + total_workers);
 
+  std::size_t worker_index = 0;
   for (std::size_t i = 0; i < num_stages; ++i) {
     const StageSpec& stage = topology_.stages[i];
     const Partitioner* next_partitioner =
@@ -195,9 +237,11 @@ Result<RunReport> Executor::Run() {
       std::vector<Tuple>* sink_output =
           i + 1 == num_stages ? &sink_outputs[static_cast<std::size_t>(task)]
                               : nullptr;
+      std::vector<DeadLetter>* dead_letters =
+          &worker_dead_letters[worker_index++];
 
       threads.emplace_back([&, i, task, metrics, in_queue, next_partitioner,
-                            sink_output,
+                            sink_output, dead_letters,
                             next_queues = std::move(next_queues)]() mutable {
         const StageSpec& my_stage = topology_.stages[i];
         StageEmitter emitter(task, next_partitioner, std::move(next_queues),
@@ -213,10 +257,18 @@ Result<RunReport> Executor::Run() {
         ctx.task_id = task;
         ctx.parallelism = my_stage.parallelism;
         ctx.metrics = metrics;
-        if (Status s = bolt->Prepare(ctx); !s.ok()) {
+        if (Status s = GuardedBoltCall(
+                StatusCode::kInternal, "bolt prepare",
+                [&] { return bolt->Prepare(ctx); });
+            !s.ok()) {
           record_error(s);
           return;
         }
+
+        // Deterministic per-worker jitter stream for retry backoff.
+        const std::uint64_t retry_seed =
+            (static_cast<std::uint64_t>(i) << 32) ^
+            static_cast<std::uint64_t>(task) ^ 0x5EA45EA4ULL;
 
         const int channels = i == 0 ? 1 : topology_.stages[i - 1].parallelism;
         std::vector<Timestamp> channel_wm(
@@ -254,7 +306,41 @@ Result<RunReport> Executor::Run() {
               switch (element.kind) {
                 case Element::Kind::kTuple: {
                   ++batch_tuples;
-                  status = bolt->Execute(element.tuple, &emitter);
+                  // Supervised delivery: a thrown exception is a data
+                  // error (confined to this tuple); transient failures
+                  // are retried under the stage policy; what still fails
+                  // non-transiently is quarantined, not fatal.
+                  status = GuardedBoltCall(
+                      StatusCode::kInvalidArgument, "bolt execute",
+                      [&] { return bolt->Execute(element.tuple, &emitter); });
+                  int attempts = 1;
+                  if (!status.ok() && my_stage.retry.enabled()) {
+                    Backoff backoff(my_stage.retry, retry_seed);
+                    std::int64_t delay_ns = 0;
+                    while (!status.ok() &&
+                           ClassifyFailure(status) ==
+                               FailureClass::kTransient &&
+                           !failed.load(std::memory_order_relaxed) &&
+                           backoff.NextDelay(&delay_ns)) {
+                      BackoffSleep(delay_ns, &failed);
+                      metrics->AddRetries(1);
+                      ++attempts;
+                      status = GuardedBoltCall(
+                          StatusCode::kInvalidArgument, "bolt execute",
+                          [&] {
+                            return bolt->Execute(element.tuple, &emitter);
+                          });
+                      if (status.ok()) metrics->AddRecovered(1);
+                    }
+                  }
+                  if (!status.ok() &&
+                      ClassifyFailure(status) == FailureClass::kData) {
+                    dead_letters->push_back(
+                        DeadLetter{my_stage.name, task, attempts, status,
+                                   std::move(element.tuple)});
+                    metrics->AddQuarantined(1);
+                    status = Status::OK();  // the run goes on
+                  }
                   break;
                 }
                 case Element::Kind::kWatermark: {
@@ -265,7 +351,13 @@ Result<RunReport> Executor::Run() {
                       *std::min_element(channel_wm.begin(), channel_wm.end());
                   if (aligned > local_wm) {
                     local_wm = aligned;
-                    status = bolt->OnWatermark(local_wm, &emitter);
+                    // Watermark work is not idempotent (window state
+                    // advances), so it is guarded but never retried; an
+                    // escaped exception here is fatal.
+                    status = GuardedBoltCall(
+                        StatusCode::kInternal, "bolt watermark", [&] {
+                          return bolt->OnWatermark(local_wm, &emitter);
+                        });
                     if (status.ok() && emitter.HasDownstream()) {
                       emitter.Broadcast(
                           Element::MakeWatermark(local_wm, task));
@@ -281,7 +373,9 @@ Result<RunReport> Executor::Run() {
                     ++flushed_count;
                   }
                   if (flushed_count == channels) {
-                    status = bolt->Finish(&emitter);
+                    status = GuardedBoltCall(
+                        StatusCode::kInternal, "bolt finish",
+                        [&] { return bolt->Finish(&emitter); });
                     if (status.ok()) {
                       if (emitter.HasDownstream()) {
                         emitter.Broadcast(Element::MakeFlush(task));
@@ -342,7 +436,17 @@ Result<RunReport> Executor::Run() {
 
   if (failed.load()) {
     std::lock_guard<std::mutex> lock(error_mutex);
-    return first_error;
+    if (suppressed_errors.empty()) return first_error;
+    // The report (and its suppressed list) is dropped on failure, so the
+    // returned Status must carry the evidence itself.
+    std::string message = first_error.message() + " [+" +
+                          std::to_string(suppressed_errors.size()) +
+                          " suppressed:";
+    for (const Status& s : suppressed_errors) {
+      message += " {" + s.ToString() + "}";
+    }
+    message += "]";
+    return Status(first_error.code(), std::move(message));
   }
 
   // Merge the sink workers' private outputs in task order.
@@ -351,6 +455,17 @@ Result<RunReport> Executor::Run() {
   report.output.reserve(total);
   for (auto& part : sink_outputs) {
     std::move(part.begin(), part.end(), std::back_inserter(report.output));
+  }
+  // Merge the dead letters in (stage, task) order, and settle the fault
+  // counters: worker metrics cover retries/recoveries/quarantines/
+  // degradations, the injector knows what it fired.
+  for (auto& part : worker_dead_letters) {
+    std::move(part.begin(), part.end(),
+              std::back_inserter(report.dead_letters));
+  }
+  report.faults = report.metrics.FaultTotals();
+  if (topology_.fault_injector != nullptr) {
+    report.faults.injected = topology_.fault_injector->total_fired();
   }
   return report;
 }

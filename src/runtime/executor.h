@@ -3,6 +3,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/blocking_queue.h"
@@ -23,8 +24,25 @@
 /// tuples per target and move them as one batch per lock acquisition, and
 /// workers drain popped batches locally. Control elements force a flush, so
 /// ordering, watermark, and back-pressure semantics match batch size 1.
+///
+/// Workers are *supervised* (see common/retry_policy.h for the failure
+/// taxonomy): bolt exceptions become Statuses, transient Execute failures
+/// are retried under the stage's RetryPolicy, data errors quarantine the
+/// offending tuple to the run's dead-letter channel, and only fatal or
+/// retry-exhausted errors cancel the run.
 
 namespace spear {
+
+/// \brief A tuple that failed non-transiently and was removed from the
+/// stream instead of cancelling the run.
+struct DeadLetter {
+  std::string stage;
+  int task = 0;
+  /// Execute attempts spent on the tuple (1 = failed on first delivery).
+  int attempts = 1;
+  Status error;
+  Tuple tuple;
+};
 
 /// \brief Everything a finished run reports back.
 struct RunReport {
@@ -32,6 +50,13 @@ struct RunReport {
   std::vector<Tuple> output;
   /// Per-worker telemetry.
   MetricsRegistry metrics;
+  /// Quarantined tuples, merged across workers in stage/task order.
+  std::vector<DeadLetter> dead_letters;
+  /// Aggregated fault counters (injection, retries, degradation).
+  FaultStats faults;
+  /// Errors recorded after the first one on a failed run (deduplicated);
+  /// empty on success. The returned Status carries the first error.
+  std::vector<Status> suppressed_errors;
 };
 
 /// \brief Runs one topology to completion. Single-use.

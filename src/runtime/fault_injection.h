@@ -1,0 +1,135 @@
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "common/fault.h"
+#include "runtime/operator.h"
+
+/// \file fault_injection.h
+/// Chaos-testing wrappers wiring a FaultInjector into a topology's
+/// operators:
+///
+///  * FaultInjectingBolt — fails Execute/OnWatermark (Status::Unavailable
+///    or a thrown exception, per rule) *before* delegating to the wrapped
+///    bolt, so a retried call is indistinguishable from a first delivery
+///    and retries stay idempotent.
+///  * FaultInjectingSpout — perturbs the emitted stream: replaces a tuple
+///    with a malformed one (the original follows right after, so no data
+///    is lost), re-emits a duplicate, or re-emits a stale copy behind the
+///    watermark (late tuple).
+///
+/// Storage faults are injected inside SecondaryStorage itself (see
+/// storage/secondary_storage.h).
+
+namespace spear {
+
+/// \brief Decorates a bolt with injection sites kBoltProcess /
+/// kBoltWatermark.
+class FaultInjectingBolt : public Bolt {
+ public:
+  FaultInjectingBolt(std::unique_ptr<Bolt> inner, FaultInjector* injector)
+      : inner_(std::move(inner)), injector_(injector) {}
+
+  Status Prepare(const BoltContext& ctx) override {
+    return inner_->Prepare(ctx);
+  }
+
+  Status Execute(const Tuple& tuple, Emitter* out) override {
+    if (injector_ != nullptr && injector_->armed(FaultSite::kBoltProcess)) {
+      const FaultInjector::Decision d =
+          injector_->Tick(FaultSite::kBoltProcess);
+      if (d.fire) {
+        if (d.throw_exception) {
+          throw std::runtime_error("injected fault: bolt execute");
+        }
+        return Status::Unavailable("injected fault: bolt execute");
+      }
+    }
+    return inner_->Execute(tuple, out);
+  }
+
+  Status OnWatermark(Timestamp watermark, Emitter* out) override {
+    if (injector_ != nullptr && injector_->armed(FaultSite::kBoltWatermark)) {
+      const FaultInjector::Decision d =
+          injector_->Tick(FaultSite::kBoltWatermark);
+      if (d.fire) {
+        if (d.throw_exception) {
+          throw std::runtime_error("injected fault: bolt watermark");
+        }
+        return Status::Unavailable("injected fault: bolt watermark");
+      }
+    }
+    return inner_->OnWatermark(watermark, out);
+  }
+
+  Status Finish(Emitter* out) override { return inner_->Finish(out); }
+
+ private:
+  std::unique_ptr<Bolt> inner_;
+  FaultInjector* injector_;
+};
+
+/// \brief Decorates a spout with injection sites kSpoutMalformed /
+/// kSpoutDuplicate / kSpoutLate.
+class FaultInjectingSpout : public Spout {
+ public:
+  /// Turns a healthy tuple into a poison one. The default replaces every
+  /// field with the single string "__poison__" (numeric extractors cannot
+  /// read it), keeping the original event time.
+  using MalformFn = Tuple (*)(const Tuple&);
+
+  FaultInjectingSpout(std::shared_ptr<Spout> inner, FaultInjector* injector,
+                      MalformFn malform = &DefaultMalform)
+      : inner_(std::move(inner)), injector_(injector), malform_(malform) {}
+
+  static Tuple DefaultMalform(const Tuple& original) {
+    Tuple poison(original.event_time(),
+                 std::vector<Value>{Value(std::string("__poison__"))});
+    return poison;
+  }
+
+  bool Next(Tuple* out) override {
+    if (!pending_.empty()) {
+      *out = std::move(pending_.front());
+      pending_.pop_front();
+      return true;
+    }
+    Tuple tuple;
+    if (!inner_->Next(&tuple)) return false;
+    if (injector_ != nullptr) {
+      if (injector_->armed(FaultSite::kSpoutDuplicate) &&
+          injector_->Tick(FaultSite::kSpoutDuplicate).fire) {
+        pending_.push_back(tuple);
+      }
+      if (injector_->armed(FaultSite::kSpoutLate)) {
+        const FaultInjector::Decision d =
+            injector_->Tick(FaultSite::kSpoutLate);
+        if (d.fire) {
+          Tuple late = tuple;
+          late.set_event_time(late.event_time() - d.lateness_ms);
+          pending_.push_back(std::move(late));
+        }
+      }
+      if (injector_->armed(FaultSite::kSpoutMalformed) &&
+          injector_->Tick(FaultSite::kSpoutMalformed).fire) {
+        // Emit the poison now; the healthy original follows next pull.
+        pending_.push_front(std::move(tuple));
+        *out = malform_(pending_.front());
+        return true;
+      }
+    }
+    *out = std::move(tuple);
+    return true;
+  }
+
+ private:
+  std::shared_ptr<Spout> inner_;
+  FaultInjector* injector_;
+  MalformFn malform_;
+  std::deque<Tuple> pending_;
+};
+
+}  // namespace spear

@@ -29,6 +29,29 @@ struct MetricSummary {
   static MetricSummary FromSamples(std::vector<std::int64_t> samples);
 };
 
+/// \brief Fault-handling counters of one run (or one worker), aggregated
+/// into RunReport::faults by the executor.
+struct FaultStats {
+  /// Faults fired by the run's FaultInjector (0 without one).
+  std::uint64_t injected = 0;
+  /// Retry attempts performed (storage-level + tuple-level).
+  std::uint64_t retries = 0;
+  /// Operations that succeeded on a retry after a transient failure.
+  std::uint64_t recovered = 0;
+  /// Tuples quarantined to the dead-letter channel.
+  std::uint64_t quarantined = 0;
+  /// Windows emitted with degraded accuracy (SpearBolt's AF-Stream trade).
+  std::uint64_t degraded_windows = 0;
+
+  void Accumulate(const FaultStats& other) {
+    injected += other.injected;
+    retries += other.retries;
+    recovered += other.recovered;
+    quarantined += other.quarantined;
+    degraded_windows += other.degraded_windows;
+  }
+};
+
 /// \brief One worker thread's counters. Written by exactly one thread.
 class WorkerMetrics {
  public:
@@ -42,12 +65,17 @@ class WorkerMetrics {
   void AddTuplesIn(std::uint64_t n) { tuples_in_ += n; }
   void AddTuplesOut(std::uint64_t n) { tuples_out_ += n; }
   void AddBusyNs(std::int64_t ns) { busy_ns_ += ns; }
+  void AddRetries(std::uint64_t n) { faults_.retries += n; }
+  void AddRecovered(std::uint64_t n) { faults_.recovered += n; }
+  void AddQuarantined(std::uint64_t n) { faults_.quarantined += n; }
+  void AddDegradedWindows(std::uint64_t n) { faults_.degraded_windows += n; }
 
   const std::string& stage() const { return stage_; }
   int task_id() const { return task_id_; }
   std::uint64_t tuples_in() const { return tuples_in_; }
   std::uint64_t tuples_out() const { return tuples_out_; }
   std::int64_t busy_ns() const { return busy_ns_; }
+  const FaultStats& faults() const { return faults_; }
   const std::vector<std::int64_t>& window_ns() const { return window_ns_; }
   const std::vector<std::int64_t>& memory_bytes() const {
     return memory_bytes_;
@@ -66,6 +94,7 @@ class WorkerMetrics {
   std::uint64_t tuples_in_ = 0;
   std::uint64_t tuples_out_ = 0;
   std::int64_t busy_ns_ = 0;
+  FaultStats faults_;
   std::vector<std::int64_t> window_ns_;
   std::vector<std::int64_t> memory_bytes_;
 };
@@ -95,6 +124,14 @@ class MetricsRegistry {
   /// Mean of per-worker *average* memory samples across a stage — the
   /// "mean memory usage per worker" of Fig. 7.
   double StageMeanMemoryPerWorker(const std::string& stage) const;
+
+  /// Fault counters summed across every worker (injected stays 0 here;
+  /// the executor fills it from the topology's FaultInjector).
+  FaultStats FaultTotals() const {
+    FaultStats total;
+    for (const auto& w : workers_) total.Accumulate(w->faults());
+    return total;
+  }
 
   const std::vector<std::unique_ptr<WorkerMetrics>>& workers() const {
     return workers_;

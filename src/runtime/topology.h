@@ -4,7 +4,9 @@
 #include <string>
 #include <vector>
 
+#include "common/fault.h"
 #include "common/result.h"
+#include "common/retry_policy.h"
 #include "common/time.h"
 #include "runtime/operator.h"
 #include "runtime/partitioner.h"
@@ -16,6 +18,8 @@
 
 namespace spear {
 
+class SecondaryStorage;
+
 /// \brief One processing stage of the DAG.
 struct StageSpec {
   std::string name;
@@ -23,6 +27,9 @@ struct StageSpec {
   /// How the *upstream* stage routes tuples to this stage.
   Partitioner input_partitioner = Partitioner::Shuffle();
   BoltFactory bolt_factory;
+  /// Retry policy for transient Execute failures (supervision). Default:
+  /// no retries — a transient failure is treated like any other error.
+  RetryPolicy retry = RetryPolicy::None();
 };
 
 /// \brief Source configuration: the spout plus its watermarking policy.
@@ -50,6 +57,15 @@ struct Topology {
   /// so per-channel ordering, watermark alignment, and end-of-stream
   /// semantics are identical at any batch size.
   std::size_t batch_max_tuples = 64;
+  /// Chaos testing: the plan's injector, consulted by instrumented sites
+  /// (storage, FaultInjectingBolt/Spout wrappers). Not owned; null in
+  /// production. The executor reads its fire counters into the RunReport.
+  FaultInjector* fault_injector = nullptr;
+  /// Secondary storages used by this topology's bolts (not owned). Lets
+  /// the executor re-arm their simulated latency at run start and cancel
+  /// it when the run is cancelled, so failing workers don't spin out
+  /// simulated waits.
+  std::vector<SecondaryStorage*> storages;
 };
 
 /// \brief Fluent builder mirroring the structure of the paper's Fig. 2
@@ -75,6 +91,30 @@ class TopologyBuilder {
     return *this;
   }
 
+  /// Sets the retry policy of the most recently added stage.
+  TopologyBuilder& StageRetry(RetryPolicy retry) {
+    if (!topology_.stages.empty()) topology_.stages.back().retry = retry;
+    return *this;
+  }
+
+  /// Attaches a fault injector to the plan (see Topology::fault_injector).
+  TopologyBuilder& InjectFaults(FaultInjector* injector) {
+    topology_.fault_injector = injector;
+    return *this;
+  }
+
+  /// Registers a storage used by this topology's bolts (see
+  /// Topology::storages). Idempotent per pointer.
+  TopologyBuilder& RegisterStorage(SecondaryStorage* storage) {
+    if (storage != nullptr) {
+      for (SecondaryStorage* s : topology_.storages) {
+        if (s == storage) return *this;
+      }
+      topology_.storages.push_back(storage);
+    }
+    return *this;
+  }
+
   TopologyBuilder& QueueCapacity(std::size_t capacity) {
     topology_.queue_capacity = capacity;
     return *this;
@@ -96,6 +136,9 @@ class TopologyBuilder {
       }
       if (!s.bolt_factory) {
         return Status::Invalid("stage '" + s.name + "' has no bolt factory");
+      }
+      if (Status rs = s.retry.Validate(); !rs.ok()) {
+        return Status::Invalid("stage '" + s.name + "': " + rs.message());
       }
     }
     if (topology_.queue_capacity == 0) {

@@ -6,36 +6,73 @@
 
 namespace spear {
 
-void SecondaryStorage::SimulateLatency(std::size_t tuple_count) const {
+void SecondaryStorage::SimulateLatency(std::size_t tuple_count,
+                                       std::int64_t extra_ns) const {
   const std::int64_t target =
       latency_.per_call_ns +
-      latency_.per_tuple_ns * static_cast<std::int64_t>(tuple_count);
+      latency_.per_tuple_ns * static_cast<std::int64_t>(tuple_count) +
+      extra_ns;
   if (target <= 0) return;
   const std::int64_t start = NowNs();
   // Busy-wait: the cost must land on the calling worker's critical path,
-  // exactly as a synchronous remote fetch would.
+  // exactly as a synchronous remote fetch would. Cancellation-aware: a
+  // cancelled run abandons the simulated wait instead of serving it out.
   while (NowNs() - start < target) {
+    if (latency_cancelled_.load(std::memory_order_relaxed)) return;
   }
 }
 
-void SecondaryStorage::Store(const std::string& key, Tuple tuple) {
-  SimulateLatency(1);
+Status SecondaryStorage::Store(const std::string& key, Tuple tuple) {
+  std::int64_t extra_ns = 0;
+  if (injector_ != nullptr) {
+    const FaultInjector::Decision d =
+        injector_->Tick(FaultSite::kStorageStore);
+    extra_ns = d.extra_latency_ns;
+    if (d.fire) {
+      // A failed remote call still costs its round trip.
+      SimulateLatency(0, extra_ns);
+      return Status::Unavailable("injected fault: store('" + key + "')");
+    }
+  }
+  SimulateLatency(1, extra_ns);
   std::lock_guard<std::mutex> lock(mutex_);
   ++store_calls_;
   runs_[key].push_back(std::move(tuple));
+  return Status::OK();
 }
 
-void SecondaryStorage::StoreBatch(const std::string& key,
-                                  std::vector<Tuple> tuples) {
-  SimulateLatency(tuples.size());
+Status SecondaryStorage::StoreBatch(const std::string& key,
+                                    std::vector<Tuple> tuples) {
+  std::int64_t extra_ns = 0;
+  if (injector_ != nullptr) {
+    const FaultInjector::Decision d =
+        injector_->Tick(FaultSite::kStorageStore);
+    extra_ns = d.extra_latency_ns;
+    if (d.fire) {
+      SimulateLatency(0, extra_ns);
+      return Status::Unavailable("injected fault: store-batch('" + key +
+                                 "')");
+    }
+  }
+  SimulateLatency(tuples.size(), extra_ns);
   std::lock_guard<std::mutex> lock(mutex_);
   ++store_calls_;
   auto& run = runs_[key];
   run.insert(run.end(), std::make_move_iterator(tuples.begin()),
              std::make_move_iterator(tuples.end()));
+  return Status::OK();
 }
 
 Result<std::vector<Tuple>> SecondaryStorage::Get(const std::string& key) const {
+  std::int64_t extra_ns = 0;
+  if (injector_ != nullptr) {
+    const FaultInjector::Decision d = injector_->Tick(FaultSite::kStorageGet);
+    extra_ns = d.extra_latency_ns;
+    if (d.fire) {
+      SimulateLatency(0, extra_ns);
+      return Status::Unavailable("injected fault: get('" + key + "')");
+    }
+  }
   std::size_t count = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -46,7 +83,7 @@ Result<std::vector<Tuple>> SecondaryStorage::Get(const std::string& key) const {
     }
     count = it->second.size();
   }
-  SimulateLatency(count);
+  SimulateLatency(count, extra_ns);
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = runs_.find(key);
   if (it == runs_.end()) {

@@ -30,14 +30,22 @@ class SpillingBuffer {
         storage_(storage),
         spill_key_(std::move(spill_key)) {}
 
-  /// Appends one tuple, spilling when past the budget.
+  /// Appends one tuple, spilling when past the budget. A failed spill
+  /// (storage transiently unavailable) degrades gracefully: the tuple is
+  /// kept in memory past the budget instead of being lost.
   void Append(Tuple tuple) {
     if (memory_capacity_ == 0 || memory_.size() < memory_capacity_) {
       memory_.push_back(std::move(tuple));
       return;
     }
     SPEAR_CHECK(storage_ != nullptr);
-    storage_->Store(spill_key_, std::move(tuple));
+    Tuple payload = std::move(tuple);
+    const Status stored = storage_->Store(spill_key_, payload);
+    if (!stored.ok()) {
+      ++spill_failures_;
+      memory_.push_back(std::move(payload));
+      return;
+    }
     ++spilled_;
   }
 
@@ -62,6 +70,8 @@ class SpillingBuffer {
   std::size_t memory_size() const { return memory_.size(); }
   std::size_t spilled_size() const { return spilled_; }
   bool HasSpilled() const { return spilled_ > 0; }
+  /// Spill attempts kept in memory because storage was unavailable.
+  std::size_t spill_failures() const { return spill_failures_; }
 
   /// Approximate resident memory in bytes (Fig. 7 accounting).
   std::size_t MemoryBytes() const {
@@ -82,6 +92,7 @@ class SpillingBuffer {
   const std::string spill_key_;
   std::vector<Tuple> memory_;
   std::size_t spilled_ = 0;
+  std::size_t spill_failures_ = 0;
 };
 
 }  // namespace spear

@@ -2,8 +2,11 @@
 
 #include <cstddef>
 #include <functional>
+#include <initializer_list>
 #include <string>
+#include <vector>
 
+#include "common/status.h"
 #include "tuple/tuple.h"
 
 /// \file field_extractor.h
@@ -38,6 +41,35 @@ using IntKeyExtractor = std::function<std::int64_t(const Tuple&)>;
 
 inline IntKeyExtractor IntKeyField(std::size_t index) {
   return [index](const Tuple& t) { return t.field(index).AsInt64(); };
+}
+
+/// Admission check run on each tuple *before* it is ingested into window
+/// state. A non-OK Status (kInvalidArgument family) marks the tuple as
+/// data-bad: the supervised executor quarantines it to the dead-letter
+/// channel instead of letting an extractor trip a check-abort on it later.
+using TupleValidator = std::function<Status(const Tuple&)>;
+
+/// Returns a validator requiring every listed field to exist and be
+/// numeric (int64 or double) — the preconditions of NumericField /
+/// IntKeyField, reported as a Status instead of enforced by SPEAR_CHECK.
+inline TupleValidator RequireNumericFields(
+    std::initializer_list<std::size_t> indices) {
+  return [fields = std::vector<std::size_t>(indices)](
+             const Tuple& t) -> Status {
+    for (const std::size_t i : fields) {
+      if (i >= t.num_fields()) {
+        return Status::Invalid("tuple has " + std::to_string(t.num_fields()) +
+                               " fields, field " + std::to_string(i) +
+                               " required");
+      }
+      const Value& v = t.field(i);
+      if (!v.is_int64() && !v.is_double()) {
+        return Status::Invalid("field " + std::to_string(i) +
+                               " is not numeric: " + v.ToString());
+      }
+    }
+    return Status::OK();
+  };
 }
 
 }  // namespace spear

@@ -36,10 +36,17 @@ void SingleBufferWindowManager::OnTuple(std::int64_t coord, Tuple tuple) {
   if (memory_capacity_ != 0 && buffer_.size() >= memory_capacity_) {
     // Budget exhausted: spill the tuple payload to S. The 8-byte coordinate
     // stays in memory as metadata so the spilled run can be re-associated.
+    // When the spill itself fails (storage transiently unavailable), keep
+    // the tuple in memory past the budget rather than lose data.
     Tuple payload = std::move(tuple);
     payload.set_event_time(coord);
-    storage_->Store(spill_key_ + "/" + std::to_string(spill_seq_),
-                    std::move(payload));
+    const Status stored = storage_->Store(
+        spill_key_ + "/" + std::to_string(spill_seq_), payload);
+    if (!stored.ok()) {
+      ++spill_failures_;
+      buffer_.push_back(Entry{coord, std::move(payload)});
+      return;
+    }
     ++spilled_;
     return;
   }

@@ -46,6 +46,9 @@ class SingleBufferWindowManager : public WindowManager {
   /// Whether any tuple of the current buffer lives in S.
   bool HasSpilled() const { return spilled_ > 0; }
 
+  /// Spill attempts kept in memory because storage was unavailable.
+  std::uint64_t spill_failures() const { return spill_failures_; }
+
   const WindowSpec& spec() const { return spec_; }
 
  private:
@@ -66,6 +69,7 @@ class SingleBufferWindowManager : public WindowManager {
   std::deque<Entry> buffer_;
   std::size_t spilled_ = 0;
   std::uint64_t spill_seq_ = 0;
+  std::uint64_t spill_failures_ = 0;
 
   /// End of the last window already emitted; windows are emitted in
   /// ascending order and never twice.

@@ -1,0 +1,301 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/retry_policy.h"
+
+namespace spear {
+namespace {
+
+FaultRule EveryNth(FaultSite site, std::uint64_t n) {
+  FaultRule rule;
+  rule.site = site;
+  rule.every_nth = n;
+  return rule;
+}
+
+TEST(FaultPlanTest, ValidateRejectsBadRules) {
+  {
+    FaultPlan plan;
+    FaultRule rule;
+    rule.site = FaultSite::kStorageStore;
+    // No trigger at all: neither probability nor every_nth.
+    plan.Add(rule);
+    EXPECT_FALSE(plan.Validate().ok());
+  }
+  {
+    FaultPlan plan;
+    FaultRule rule;
+    rule.site = FaultSite::kStorageStore;
+    rule.probability = 1.5;
+    plan.Add(rule);
+    EXPECT_FALSE(plan.Validate().ok());
+  }
+  {
+    FaultPlan plan;
+    FaultRule rule = EveryNth(FaultSite::kStorageGet, 2);
+    rule.extra_latency_ns = -1;
+    plan.Add(rule);
+    EXPECT_FALSE(plan.Validate().ok());
+  }
+  {
+    FaultPlan plan;
+    plan.Add(EveryNth(FaultSite::kBoltProcess, 3));
+    EXPECT_TRUE(plan.Validate().ok());
+  }
+}
+
+TEST(FaultInjectorTest, EmptyPlanNeverArmsOrFires) {
+  FaultInjector injector{FaultPlan{}};
+  for (std::uint8_t s = 0; s < kNumFaultSites; ++s) {
+    const auto site = static_cast<FaultSite>(s);
+    EXPECT_FALSE(injector.armed(site)) << FaultSiteName(site);
+    EXPECT_FALSE(injector.Tick(site).fire);
+  }
+  EXPECT_EQ(injector.total_fired(), 0u);
+}
+
+TEST(FaultInjectorTest, EveryNthFiresOnExactMultiples) {
+  FaultPlan plan;
+  plan.Add(EveryNth(FaultSite::kStorageStore, 3));
+  FaultInjector injector(plan);
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) {
+    fired.push_back(injector.Tick(FaultSite::kStorageStore).fire);
+  }
+  const std::vector<bool> expected = {false, false, true, false, false,
+                                      true,  false, false, true};
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(injector.fired(FaultSite::kStorageStore), 3u);
+  EXPECT_EQ(injector.ticks(FaultSite::kStorageStore), 9u);
+  EXPECT_EQ(injector.total_fired(), 3u);
+}
+
+TEST(FaultInjectorTest, MaxFiresCapsTheRule) {
+  FaultPlan plan;
+  FaultRule rule = EveryNth(FaultSite::kBoltProcess, 1);  // every op
+  rule.max_fires = 2;
+  plan.Add(rule);
+  FaultInjector injector(plan);
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.Tick(FaultSite::kBoltProcess).fire) ++fires;
+  }
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(FaultInjectorTest, UnarmedSitesAreIndependent) {
+  FaultPlan plan;
+  plan.Add(EveryNth(FaultSite::kStorageStore, 1));
+  FaultInjector injector(plan);
+  EXPECT_TRUE(injector.armed(FaultSite::kStorageStore));
+  EXPECT_FALSE(injector.armed(FaultSite::kStorageGet));
+  EXPECT_FALSE(injector.Tick(FaultSite::kStorageGet).fire);
+  EXPECT_TRUE(injector.Tick(FaultSite::kStorageStore).fire);
+}
+
+TEST(FaultInjectorTest, ProbabilityDecisionsAreSeedDeterministic) {
+  FaultPlan plan;
+  plan.seed = 42;
+  FaultRule rule;
+  rule.site = FaultSite::kStorageGet;
+  rule.probability = 0.5;
+  plan.Add(rule);
+
+  auto run = [](const FaultPlan& p) {
+    FaultInjector injector(p);
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i) {
+      fires.push_back(injector.Tick(FaultSite::kStorageGet).fire);
+    }
+    return fires;
+  };
+  // Same seed: identical decision sequence (injection is a pure function
+  // of (seed, site, op index), independent of thread interleaving).
+  EXPECT_EQ(run(plan), run(plan));
+  FaultPlan other = plan;
+  other.seed = 43;
+  EXPECT_NE(run(plan), run(other));
+}
+
+TEST(FaultInjectorTest, ProbabilityRoughlyMatchesRate) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = FaultSite::kBoltProcess;
+  rule.probability = 0.25;
+  plan.Add(rule);
+  FaultInjector injector(plan);
+  int fires = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    if (injector.Tick(FaultSite::kBoltProcess).fire) ++fires;
+  }
+  EXPECT_GT(fires, n / 8);
+  EXPECT_LT(fires, n / 2);
+}
+
+TEST(FaultInjectorTest, DecisionCarriesLatencyAndThrowAttributes) {
+  FaultPlan plan;
+  FaultRule rule = EveryNth(FaultSite::kBoltWatermark, 1);
+  rule.extra_latency_ns = 12345;
+  rule.throw_exception = true;
+  plan.Add(rule);
+  FaultInjector injector(plan);
+  const FaultInjector::Decision d = injector.Tick(FaultSite::kBoltWatermark);
+  EXPECT_TRUE(d.fire);
+  EXPECT_EQ(d.extra_latency_ns, 12345);
+  EXPECT_TRUE(d.throw_exception);
+}
+
+// ---------------------------------------------------------------------------
+// Failure taxonomy + retry policy
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicyTest, ClassifyFailure) {
+  EXPECT_EQ(ClassifyFailure(Status::Unavailable("s3 down")),
+            FailureClass::kTransient);
+  EXPECT_EQ(ClassifyFailure(Status::Invalid("bad tuple")),
+            FailureClass::kData);
+  EXPECT_EQ(ClassifyFailure(Status::OutOfRange("field 9")),
+            FailureClass::kData);
+  EXPECT_EQ(ClassifyFailure(Status::Internal("bug")), FailureClass::kFatal);
+  EXPECT_EQ(ClassifyFailure(Status::NotFound("key")), FailureClass::kFatal);
+  EXPECT_EQ(ClassifyFailure(Status::IOError("disk")), FailureClass::kFatal);
+}
+
+TEST(RetryPolicyTest, StatusUnavailableRoundTrips) {
+  const Status s = Status::Unavailable("transient");
+  EXPECT_TRUE(s.IsUnavailable());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "unavailable: transient");
+}
+
+TEST(RetryPolicyTest, ValidateBounds) {
+  RetryPolicy p;
+  p.max_attempts = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = RetryPolicy::Default();
+  EXPECT_TRUE(p.Validate().ok());
+  p.jitter = 1.0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = RetryPolicy::Default();
+  p.backoff_multiplier = 0.5;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(BackoffTest, ExponentialScheduleWithoutJitter) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ns = 1000;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ns = 3000;
+  policy.jitter = 0.0;
+  policy.wall_clock_budget_ns = 0;  // unbudgeted
+
+  Backoff backoff(policy, /*seed=*/1);
+  std::int64_t delay = 0;
+  ASSERT_TRUE(backoff.NextDelay(&delay));
+  EXPECT_EQ(delay, 1000);
+  ASSERT_TRUE(backoff.NextDelay(&delay));
+  EXPECT_EQ(delay, 2000);
+  ASSERT_TRUE(backoff.NextDelay(&delay));
+  EXPECT_EQ(delay, 3000);  // capped at max_backoff_ns
+  EXPECT_FALSE(backoff.NextDelay(&delay));  // 4 attempts total
+  EXPECT_EQ(backoff.retries(), 3);
+}
+
+TEST(BackoffTest, JitterStaysWithinBandAndIsDeterministic) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.initial_backoff_ns = 10000;
+  policy.backoff_multiplier = 1.0;
+  policy.jitter = 0.2;
+  policy.wall_clock_budget_ns = 0;
+
+  auto delays = [&policy](std::uint64_t seed) {
+    Backoff backoff(policy, seed);
+    std::vector<std::int64_t> out;
+    std::int64_t d = 0;
+    while (backoff.NextDelay(&d)) out.push_back(d);
+    return out;
+  };
+  const std::vector<std::int64_t> a = delays(7);
+  EXPECT_EQ(a, delays(7));
+  for (std::int64_t d : a) {
+    EXPECT_GE(d, 8000);
+    EXPECT_LE(d, 12000);
+  }
+}
+
+TEST(RetryTransientTest, RecoversAfterTransientFailures) {
+  RetryPolicy policy = RetryPolicy::Default();
+  policy.initial_backoff_ns = 1000;  // keep the test fast
+  int calls = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t recovered = 0;
+  const Status status = RetryTransient(
+      policy, /*seed=*/3,
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("hiccup") : Status::OK();
+      },
+      &retries, &recovered);
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(retries, 2u);
+  EXPECT_EQ(recovered, 1u);
+}
+
+TEST(RetryTransientTest, DoesNotRetryDataOrFatalErrors) {
+  RetryPolicy policy = RetryPolicy::Default();
+  int calls = 0;
+  std::uint64_t retries = 0;
+  const Status status = RetryTransient(
+      policy, /*seed=*/3,
+      [&] {
+        ++calls;
+        return Status::Invalid("malformed");
+      },
+      &retries);
+  EXPECT_TRUE(status.IsInvalid());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(retries, 0u);
+}
+
+TEST(RetryTransientTest, ExhaustsAttemptBudget) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.initial_backoff_ns = 1000;
+  policy.wall_clock_budget_ns = 0;
+  int calls = 0;
+  const Status status = RetryTransient(policy, /*seed=*/9, [&] {
+    ++calls;
+    return Status::Unavailable("still down");
+  });
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTransientTest, CancellationStopsRetrying) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_backoff_ns = 1000;
+  policy.wall_clock_budget_ns = 0;
+  std::atomic<bool> cancelled{false};
+  int calls = 0;
+  const Status status = RetryTransient(
+      policy, /*seed=*/1,
+      [&] {
+        ++calls;
+        if (calls == 2) cancelled.store(true);
+        return Status::Unavailable("down");
+      },
+      nullptr, nullptr, &cancelled);
+  EXPECT_TRUE(status.IsUnavailable());
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace spear

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+
+#include "common/retry_policy.h"
+#include "runtime/executor.h"
+#include "runtime/fault_injection.h"
+#include "runtime/common_bolts.h"
+#include "runtime/spouts.h"
+
+namespace spear {
+namespace {
+
+std::vector<Tuple> NumberStream(int n) {
+  std::vector<Tuple> out;
+  for (int i = 0; i < n; ++i) {
+    out.emplace_back(i, std::vector<Value>{Value(static_cast<double>(i))});
+  }
+  return out;
+}
+
+RetryPolicy FastRetry(int max_attempts) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.initial_backoff_ns = 10'000;  // 10 us — keep tests fast
+  policy.max_backoff_ns = 100'000;
+  return policy;
+}
+
+TEST(SupervisionTest, TransientFailureIsRetriedAndRecovers) {
+  // Fails the first delivery of every 10th tuple; the retry succeeds.
+  struct Flaky : Bolt {
+    std::int64_t failing = -1;
+    Status Execute(const Tuple& t, Emitter* out) override {
+      if (t.event_time() % 10 == 0 && t.event_time() != failing) {
+        failing = t.event_time();
+        return Status::Unavailable("transient hiccup");
+      }
+      out->Emit(t);
+      return Status::OK();
+    }
+  };
+  TopologyBuilder builder;
+  builder.Source(std::make_shared<VectorSpout>(NumberStream(100)));
+  builder.Stage("flaky", 1, Partitioner::Shuffle(),
+                [](int) { return std::make_unique<Flaky>(); });
+  builder.StageRetry(FastRetry(4));
+  auto report = Executor(std::move(*builder.Build())).Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->output.size(), 100u);
+  EXPECT_TRUE(report->dead_letters.empty());
+  EXPECT_EQ(report->faults.retries, 10u);
+  EXPECT_EQ(report->faults.recovered, 10u);
+  EXPECT_EQ(report->faults.quarantined, 0u);
+}
+
+TEST(SupervisionTest, DataErrorQuarantinesTupleAndRunContinues) {
+  struct Picky : Bolt {
+    Status Execute(const Tuple& t, Emitter* out) override {
+      if (t.event_time() == 7) return Status::Invalid("poison tuple");
+      out->Emit(t);
+      return Status::OK();
+    }
+  };
+  TopologyBuilder builder;
+  builder.Source(std::make_shared<VectorSpout>(NumberStream(100)));
+  builder.Stage("picky", 1, Partitioner::Shuffle(),
+                [](int) { return std::make_unique<Picky>(); });
+  auto report = Executor(std::move(*builder.Build())).Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->output.size(), 99u);
+  ASSERT_EQ(report->dead_letters.size(), 1u);
+  const DeadLetter& dl = report->dead_letters[0];
+  EXPECT_EQ(dl.stage, "picky");
+  EXPECT_EQ(dl.task, 0);
+  EXPECT_EQ(dl.attempts, 1);
+  EXPECT_TRUE(dl.error.IsInvalid());
+  EXPECT_EQ(dl.tuple.event_time(), 7);
+  EXPECT_EQ(report->faults.quarantined, 1u);
+}
+
+TEST(SupervisionTest, ExecuteExceptionBecomesQuarantinedDataError) {
+  struct Thrower : Bolt {
+    Status Execute(const Tuple& t, Emitter* out) override {
+      if (t.event_time() == 3) throw std::runtime_error("kaboom");
+      out->Emit(t);
+      return Status::OK();
+    }
+  };
+  TopologyBuilder builder;
+  builder.Source(std::make_shared<VectorSpout>(NumberStream(10)));
+  builder.Stage("throws", 1, Partitioner::Shuffle(),
+                [](int) { return std::make_unique<Thrower>(); });
+  auto report = Executor(std::move(*builder.Build())).Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->output.size(), 9u);
+  ASSERT_EQ(report->dead_letters.size(), 1u);
+  EXPECT_TRUE(report->dead_letters[0].error.IsInvalid());
+  EXPECT_NE(report->dead_letters[0].error.message().find("kaboom"),
+            std::string::npos);
+}
+
+TEST(SupervisionTest, ExhaustedRetriesFailTheRun) {
+  struct AlwaysDown : Bolt {
+    Status Execute(const Tuple&, Emitter*) override {
+      return Status::Unavailable("permanently down");
+    }
+  };
+  TopologyBuilder builder;
+  builder.Source(std::make_shared<VectorSpout>(NumberStream(10)));
+  builder.Stage("down", 1, Partitioner::Shuffle(),
+                [](int) { return std::make_unique<AlwaysDown>(); });
+  builder.StageRetry(FastRetry(3));
+  auto report = Executor(std::move(*builder.Build())).Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsUnavailable());
+}
+
+TEST(SupervisionTest, TransientWithoutRetryPolicyStaysFatal) {
+  // Pre-supervision behaviour is preserved when no retry is configured.
+  struct Down : Bolt {
+    Status Execute(const Tuple&, Emitter*) override {
+      return Status::Unavailable("down");
+    }
+  };
+  TopologyBuilder builder;
+  builder.Source(std::make_shared<VectorSpout>(NumberStream(10)));
+  builder.Stage("down", 1, Partitioner::Shuffle(),
+                [](int) { return std::make_unique<Down>(); });
+  auto report = Executor(std::move(*builder.Build())).Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsUnavailable());
+}
+
+TEST(SupervisionTest, WatermarkExceptionIsFatal) {
+  struct BadWatermark : Bolt {
+    Status Execute(const Tuple&, Emitter*) override { return Status::OK(); }
+    Status OnWatermark(Timestamp, Emitter*) override {
+      throw std::runtime_error("state torn");
+    }
+  };
+  TopologyBuilder builder;
+  builder.Source(std::make_shared<VectorSpout>(NumberStream(1000)),
+                 /*watermark_interval=*/100);
+  builder.Stage("bad", 1, Partitioner::Shuffle(),
+                [](int) { return std::make_unique<BadWatermark>(); });
+  auto report = Executor(std::move(*builder.Build())).Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsInternal());
+  EXPECT_NE(report.status().message().find("bolt watermark"),
+            std::string::npos);
+}
+
+TEST(SupervisionTest, PrepareExceptionIsFatal) {
+  struct BadPrepare : Bolt {
+    Status Prepare(const BoltContext&) override {
+      throw std::runtime_error("no config");
+    }
+    Status Execute(const Tuple&, Emitter*) override { return Status::OK(); }
+  };
+  TopologyBuilder builder;
+  builder.Source(std::make_shared<VectorSpout>(NumberStream(10)));
+  builder.Stage("bad", 1, Partitioner::Shuffle(),
+                [](int) { return std::make_unique<BadPrepare>(); });
+  auto report = Executor(std::move(*builder.Build())).Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsInternal());
+  EXPECT_NE(report.status().message().find("bolt prepare"),
+            std::string::npos);
+}
+
+TEST(SupervisionTest, MidStreamErrorUnderBackPressureCancelsCleanly) {
+  // A deep pipeline with tiny queues: when a downstream worker dies
+  // mid-stream, upstream workers blocked on full queues and the source
+  // must all unwind (queues are closed) instead of deadlocking.
+  struct DiesAtFifty : Bolt {
+    int seen = 0;
+    Status Execute(const Tuple& t, Emitter* out) override {
+      if (++seen == 50) return Status::Internal("mid-stream crash");
+      out->Emit(t);
+      return Status::OK();
+    }
+  };
+  TopologyBuilder builder;
+  builder.Source(std::make_shared<VectorSpout>(NumberStream(50000)));
+  builder.QueueCapacity(2);
+  builder.Stage("pass", 2, Partitioner::Shuffle(), [](int) {
+    return std::make_unique<MapBolt>([](const Tuple& t) { return t; });
+  });
+  builder.Stage("dies", 1, Partitioner::Shuffle(),
+                [](int) { return std::make_unique<DiesAtFifty>(); });
+  builder.Stage("sink", 1, Partitioner::Shuffle(), [](int) {
+    return std::make_unique<MapBolt>([](const Tuple& t) { return t; });
+  });
+  auto report = Executor(std::move(*builder.Build())).Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsInternal());
+  EXPECT_NE(report.status().message().find("mid-stream crash"),
+            std::string::npos);
+}
+
+TEST(SupervisionTest, DistinctConcurrentErrorsAreSuppressedNotLost) {
+  // Every worker fails Prepare with a task-specific message: one becomes
+  // the returned error, the others must be reported as suppressed instead
+  // of silently dropped.
+  struct FailsWithTask : Bolt {
+    int task;
+    explicit FailsWithTask(int t) : task(t) {}
+    Status Prepare(const BoltContext&) override {
+      return Status::FailedPrecondition("worker " + std::to_string(task) +
+                                        " broken");
+    }
+    Status Execute(const Tuple&, Emitter*) override { return Status::OK(); }
+  };
+  TopologyBuilder builder;
+  builder.Source(std::make_shared<VectorSpout>(NumberStream(10)));
+  builder.Stage("bad", 3, Partitioner::Shuffle(),
+                [](int task) { return std::make_unique<FailsWithTask>(task); });
+  auto report = Executor(std::move(*builder.Build())).Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsFailedPrecondition());
+  EXPECT_NE(report.status().message().find("[+2 suppressed:"),
+            std::string::npos)
+      << report.status().message();
+}
+
+TEST(SupervisionTest, IdenticalConcurrentErrorsKeepExactMessage) {
+  // Same failure on every worker: deduplication keeps the message pristine
+  // (no suppressed suffix), so single-cause failures stay grep-able.
+  struct SameFailure : Bolt {
+    Status Prepare(const BoltContext&) override {
+      return Status::FailedPrecondition("no disk");
+    }
+    Status Execute(const Tuple&, Emitter*) override { return Status::OK(); }
+  };
+  TopologyBuilder builder;
+  builder.Source(std::make_shared<VectorSpout>(NumberStream(10)));
+  builder.Stage("bad", 4, Partitioner::Shuffle(),
+                [](int) { return std::make_unique<SameFailure>(); });
+  auto report = Executor(std::move(*builder.Build())).Run();
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().message(), "no disk");
+}
+
+TEST(SupervisionTest, QuarantinedTuplesMergeAcrossWorkers) {
+  struct RejectsOdd : Bolt {
+    Status Execute(const Tuple& t, Emitter* out) override {
+      if (t.event_time() % 2 == 1) return Status::OutOfRange("odd");
+      out->Emit(t);
+      return Status::OK();
+    }
+  };
+  TopologyBuilder builder;
+  builder.Source(std::make_shared<VectorSpout>(NumberStream(100)));
+  builder.Stage("evens-only", 4, Partitioner::Shuffle(),
+                [](int) { return std::make_unique<RejectsOdd>(); });
+  auto report = Executor(std::move(*builder.Build())).Run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->output.size(), 50u);
+  EXPECT_EQ(report->dead_letters.size(), 50u);
+  EXPECT_EQ(report->faults.quarantined, 50u);
+  for (const DeadLetter& dl : report->dead_letters) {
+    EXPECT_EQ(dl.tuple.event_time() % 2, 1);
+  }
+}
+
+TEST(SupervisionTest, InjectingBoltWrapperRetriesToRecovery) {
+  // End-to-end through the chaos wrapper: every 5th Execute is injected
+  // Unavailable; the stage retry re-delivers (the injector tick advances,
+  // so the retry is clean) and the stream completes losslessly.
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = FaultSite::kBoltProcess;
+  rule.every_nth = 5;
+  plan.Add(rule);
+  FaultInjector injector(plan);
+
+  TopologyBuilder builder;
+  builder.Source(std::make_shared<VectorSpout>(NumberStream(100)));
+  builder.Stage("wrapped", 1, Partitioner::Shuffle(), [&](int) {
+    return std::make_unique<FaultInjectingBolt>(
+        std::make_unique<MapBolt>([](const Tuple& t) { return t; }),
+        &injector);
+  });
+  builder.StageRetry(FastRetry(4));
+  builder.InjectFaults(&injector);
+  auto report = Executor(std::move(*builder.Build())).Run();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->output.size(), 100u);
+  EXPECT_GT(report->faults.injected, 0u);
+  EXPECT_EQ(report->faults.retries, report->faults.recovered);
+  EXPECT_GT(report->faults.recovered, 0u);
+}
+
+TEST(SupervisionTest, InjectingSpoutPerturbationsAreLossless) {
+  // Malformed: poison emitted, original still follows. Duplicate / late:
+  // extra copies. The healthy payload count must never shrink.
+  FaultPlan plan;
+  FaultRule malformed;
+  malformed.site = FaultSite::kSpoutMalformed;
+  malformed.every_nth = 10;
+  plan.Add(malformed);
+  FaultRule dup;
+  dup.site = FaultSite::kSpoutDuplicate;
+  dup.every_nth = 25;
+  plan.Add(dup);
+  FaultInjector injector(plan);
+
+  auto spout = std::make_shared<FaultInjectingSpout>(
+      std::make_shared<VectorSpout>(NumberStream(100)), &injector);
+  int healthy = 0;
+  int poison = 0;
+  Tuple t;
+  while (spout->Next(&t)) {
+    if (t.field(0).is_string()) {
+      ++poison;
+      EXPECT_EQ(t.field(0).AsString(), "__poison__");
+    } else {
+      ++healthy;
+    }
+  }
+  EXPECT_EQ(poison, 10);
+  EXPECT_EQ(healthy, 100 + 4);  // originals + 4 duplicates
+}
+
+}  // namespace
+}  // namespace spear

@@ -78,6 +78,66 @@ TEST(SecondaryStorageTest, PerTupleLatencyScalesWithBatch) {
   EXPECT_GE(NowNs() - start, 1'000'000);  // >= 1 ms for 100 tuples
 }
 
+TEST(SecondaryStorageTest, InjectedStoreFaultFailsWithoutStoring) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = FaultSite::kStorageStore;
+  rule.every_nth = 2;
+  plan.Add(rule);
+  FaultInjector injector(plan);
+
+  SecondaryStorage s;
+  s.InjectFaults(&injector);
+  EXPECT_TRUE(s.Store("a", T(1, 1.0)).ok());
+  const Status second = s.Store("a", T(2, 2.0));
+  EXPECT_TRUE(second.IsUnavailable());
+  // The failed call stored nothing and doesn't count as performed work.
+  EXPECT_EQ(s.CountFor("a"), 1u);
+  EXPECT_EQ(s.store_calls(), 1u);
+  // Batches fail atomically.
+  EXPECT_TRUE(s.StoreBatch("a", {T(3, 3.0)}).ok());
+  EXPECT_TRUE(s.StoreBatch("a", {T(4, 4.0), T(5, 5.0)}).IsUnavailable());
+  EXPECT_EQ(s.CountFor("a"), 2u);
+}
+
+TEST(SecondaryStorageTest, InjectedGetFaultIsUnavailableNotNotFound) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = FaultSite::kStorageGet;
+  rule.every_nth = 1;
+  rule.max_fires = 1;
+  plan.Add(rule);
+  FaultInjector injector(plan);
+
+  SecondaryStorage s;
+  s.Store("a", T(1, 1.0));
+  s.InjectFaults(&injector);
+  EXPECT_TRUE(s.Get("a").status().IsUnavailable());
+  EXPECT_EQ(s.get_calls(), 0u);
+  // The fault budget is spent: the retry sees the data.
+  auto run = s.Get("a");
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->size(), 1u);
+  EXPECT_EQ(s.get_calls(), 1u);
+}
+
+TEST(SecondaryStorageTest, CancellationCutsSimulatedLatencyShort) {
+  // 200 ms of simulated per-call latency, cancelled up front: the call
+  // must return almost immediately instead of spinning out the wait.
+  SecondaryStorage slow(StorageLatencyModel{200'000'000, 0});
+  slow.CancelSimulatedLatency();
+  const std::int64_t start = NowNs();
+  EXPECT_TRUE(slow.Store("a", T(1, 1.0)).ok());
+  EXPECT_LT(NowNs() - start, 100'000'000);
+  EXPECT_EQ(slow.CountFor("a"), 1u);
+
+  // Re-arming restores the cost model.
+  SecondaryStorage slow2(StorageLatencyModel{5'000'000, 0});  // 5 ms
+  const std::int64_t start2 = NowNs();
+  EXPECT_TRUE(slow2.Store("a", T(1, 1.0)).ok());
+  EXPECT_GE(NowNs() - start2, 5'000'000);
+}
+
 TEST(SecondaryStorageTest, ConcurrentStoresAllLand) {
   SecondaryStorage s;
   std::vector<std::thread> threads;
