@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# Full local check: configure, build, run every test, an ASan pass over
-# the fault-injection suites, then every bench.
+# Full local check: configure, build, run every test, the crash-chaos
+# recovery sweep, an ASan pass over the fault-injection suites, then
+# every bench.
 # Usage: scripts/check.sh [build-dir]
+#
+# SPEAR_CHECK_MATRIX=1 widens the sanitizer pass into the full matrix:
+# plain + ASan + TSan in sequence (the TSan pass covers the executor's
+# supervision/recovery machinery, where races would otherwise only lose
+# intermittently).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -11,8 +17,15 @@ cmake -S "$ROOT" -B "$ROOT/$BUILD_DIR" -G Ninja
 cmake --build "$ROOT/$BUILD_DIR"
 ctest --test-dir "$ROOT/$BUILD_DIR" -j"$(nproc)" --output-on-failure
 
+# Crash-chaos recovery suite across seeds (varies the crash points).
+"$ROOT/scripts/check_recovery.sh" "$BUILD_DIR"
+
 # Chaos paths (exception unwinding, cancellation, quarantine) under ASan.
 "$ROOT/scripts/check_asan.sh" "$BUILD_DIR-asan"
+
+if [ "${SPEAR_CHECK_MATRIX:-0}" = "1" ]; then
+  "$ROOT/scripts/check_tsan.sh" "$BUILD_DIR-tsan"
+fi
 
 for bench in "$ROOT/$BUILD_DIR"/bench/bench_*; do
   [ -x "$bench" ] || continue

@@ -14,11 +14,13 @@ cmake -S "$ROOT" -B "$ROOT/$BUILD_DIR" \
   -DSPEAR_BUILD_BENCHMARKS=OFF \
   -DSPEAR_BUILD_EXAMPLES=OFF
 cmake --build "$ROOT/$BUILD_DIR" -j"$(nproc)" \
-  --target spear_common_tests spear_substrate_tests spear_runtime_tests
+  --target spear_common_tests spear_substrate_tests spear_runtime_tests \
+  spear_recovery_tests
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 "$ROOT/$BUILD_DIR/tests/spear_common_tests" --gtest_filter='Fault*:Retry*:Backoff*'
 "$ROOT/$BUILD_DIR/tests/spear_substrate_tests" --gtest_filter='SecondaryStorage*'
 "$ROOT/$BUILD_DIR/tests/spear_runtime_tests" \
   --gtest_filter='Supervision*:Chaos*:Executor*'
-echo "ASan: fault-injection + supervision suites clean"
+"$ROOT/$BUILD_DIR/tests/spear_recovery_tests"
+echo "ASan: fault-injection + supervision + recovery suites clean"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the crash-chaos recovery suite across a spread of seeds. Each seed
+# moves the injected kWorkerCrash points (FaultPlan.every_nth depends on
+# SPEAR_RECOVERY_SEED), so the sweep exercises crashes landing at
+# different distances from the last snapshot — right after one, deep into
+# a replay log, across window boundaries.
+# Usage: scripts/check_recovery.sh [build-dir] [num-seeds]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+NUM_SEEDS="${2:-10}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SUITE="$ROOT/$BUILD_DIR/tests/spear_recovery_tests"
+
+if [ ! -x "$SUITE" ]; then
+  echo "building spear_recovery_tests in $BUILD_DIR..."
+  cmake --build "$ROOT/$BUILD_DIR" --target spear_recovery_tests
+fi
+
+for ((seed = 1; seed <= NUM_SEEDS; ++seed)); do
+  echo "=== recovery suite, seed $seed ==="
+  SPEAR_RECOVERY_SEED="$seed" "$SUITE" \
+    --gtest_filter='RecoveryTest.*' --gtest_brief=1
+done
+echo "recovery: $NUM_SEEDS seeds clean"

@@ -1,0 +1,254 @@
+#include "checkpoint/checkpoint.h"
+
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#include "checkpoint/wire.h"
+#include "common/logging.h"
+
+namespace spear {
+
+namespace {
+
+/// "SPCK" little-endian: snapshot files are self-identifying.
+constexpr std::uint32_t kSnapshotMagic = 0x4B435053;
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const std::string& data) {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeSnapshot(const CheckpointSnapshot& snapshot) {
+  std::string out;
+  out.reserve(snapshot.payload.size() + snapshot.stage.size() + 64);
+  wire::AppendU32(&out, kSnapshotMagic);
+  wire::AppendU32(&out, kSnapshotVersion);
+  wire::AppendString(&out, snapshot.stage);
+  wire::AppendU32(&out, static_cast<std::uint32_t>(snapshot.task));
+  wire::AppendU64(&out, snapshot.sequence);
+  wire::AppendI64(&out, snapshot.watermark);
+  wire::AppendU64(&out, snapshot.source_offset);
+  wire::AppendString(&out, snapshot.payload);
+  wire::AppendU32(&out, Crc32(out));
+  return out;
+}
+
+Result<CheckpointSnapshot> DecodeSnapshot(const std::string& bytes) {
+  if (bytes.size() < 4) {
+    return Status::Invalid("checkpoint: snapshot shorter than its checksum");
+  }
+  // Validate the trailer before trusting any field.
+  const std::string body = bytes.substr(0, bytes.size() - 4);
+  const std::string trailer_bytes = bytes.substr(bytes.size() - 4);
+  wire::Reader trailer(trailer_bytes);
+  SPEAR_ASSIGN_OR_RETURN(const std::uint32_t stored_crc, trailer.ReadU32());
+  if (stored_crc != Crc32(body)) {
+    return Status::Invalid("checkpoint: checksum mismatch (corrupt snapshot)");
+  }
+
+  wire::Reader reader(body);
+  SPEAR_ASSIGN_OR_RETURN(const std::uint32_t magic, reader.ReadU32());
+  if (magic != kSnapshotMagic) {
+    return Status::Invalid("checkpoint: bad magic (not a snapshot)");
+  }
+  CheckpointSnapshot snapshot;
+  SPEAR_ASSIGN_OR_RETURN(snapshot.version, reader.ReadU32());
+  if (snapshot.version != kSnapshotVersion) {
+    return Status::Invalid("checkpoint: unsupported snapshot version " +
+                           std::to_string(snapshot.version));
+  }
+  SPEAR_ASSIGN_OR_RETURN(snapshot.stage, reader.ReadString());
+  SPEAR_ASSIGN_OR_RETURN(const std::uint32_t task, reader.ReadU32());
+  snapshot.task = static_cast<int>(task);
+  SPEAR_ASSIGN_OR_RETURN(snapshot.sequence, reader.ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(snapshot.watermark, reader.ReadI64());
+  SPEAR_ASSIGN_OR_RETURN(snapshot.source_offset, reader.ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(snapshot.payload, reader.ReadString());
+  if (!reader.exhausted()) {
+    return Status::Invalid("checkpoint: trailing bytes after snapshot");
+  }
+  return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// InMemoryCheckpointStore
+// ---------------------------------------------------------------------------
+
+Status InMemoryCheckpointStore::Put(const CheckpointSnapshot& snapshot) {
+  std::string encoded = EncodeSnapshot(snapshot);
+  std::lock_guard<std::mutex> lock(mutex_);
+  Generations& gen = snapshots_[{snapshot.stage, snapshot.task}];
+  gen.previous = std::move(gen.current);
+  gen.current = std::move(encoded);
+  ++puts_;
+  return Status::OK();
+}
+
+Result<CheckpointSnapshot> InMemoryCheckpointStore::Latest(
+    const std::string& stage, int task) {
+  std::string current, previous;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = snapshots_.find({stage, task});
+    if (it == snapshots_.end()) {
+      return Status::NotFound("checkpoint: no snapshot for worker '" + stage +
+                              "/" + std::to_string(task) + "'");
+    }
+    current = it->second.current;
+    previous = it->second.previous;
+  }
+  if (Result<CheckpointSnapshot> snap = DecodeSnapshot(current); snap.ok()) {
+    return snap;
+  }
+  if (!previous.empty()) {
+    if (Result<CheckpointSnapshot> snap = DecodeSnapshot(previous);
+        snap.ok()) {
+      return snap;
+    }
+  }
+  return Status::NotFound("checkpoint: no valid snapshot for worker '" +
+                          stage + "/" + std::to_string(task) + "'");
+}
+
+std::uint64_t InMemoryCheckpointStore::puts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return puts_;
+}
+
+void InMemoryCheckpointStore::CorruptLatestForTesting(const std::string& stage,
+                                                      int task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = snapshots_.find({stage, task});
+  if (it == snapshots_.end() || it->second.current.empty()) return;
+  // Flip a byte in the middle (the payload region), not the trailer, so
+  // the corruption models bit rot rather than a truncated write.
+  std::string& bytes = it->second.current;
+  bytes[bytes.size() / 2] = static_cast<char>(~bytes[bytes.size() / 2]);
+}
+
+// ---------------------------------------------------------------------------
+// FileCheckpointStore
+// ---------------------------------------------------------------------------
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Stage names become file names; keep them path-safe.
+std::string SanitizeForFilename(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+Result<std::string> ReadFileBytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("checkpoint: cannot open " + path.string());
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return Status::IOError("checkpoint: read failed for " + path.string());
+  }
+  return bytes;
+}
+
+}  // namespace
+
+FileCheckpointStore::FileCheckpointStore(std::string directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  SPEAR_CHECK(!ec);
+}
+
+std::string FileCheckpointStore::PathFor(const std::string& stage,
+                                         int task) const {
+  return (fs::path(directory_) /
+          (SanitizeForFilename(stage) + "-" + std::to_string(task) + ".ckpt"))
+      .string();
+}
+
+Status FileCheckpointStore::Put(const CheckpointSnapshot& snapshot) {
+  const std::string encoded = EncodeSnapshot(snapshot);
+  const fs::path path(PathFor(snapshot.stage, snapshot.task));
+  const fs::path prev = path.string() + ".prev";
+  const fs::path tmp = path.string() + ".tmp";
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("checkpoint: cannot create " + tmp.string());
+    }
+    out.write(encoded.data(),
+              static_cast<std::streamsize>(encoded.size()));
+    out.flush();
+    if (!out) {
+      return Status::IOError("checkpoint: write failed for " + tmp.string());
+    }
+  }
+  std::error_code ec;
+  // Demote the previous generation, then atomically publish the new one;
+  // an interrupted Put leaves either the old current or the old prev
+  // intact, never a half-written current.
+  if (fs::exists(path, ec)) {
+    fs::rename(path, prev, ec);
+    if (ec) {
+      return Status::IOError("checkpoint: rotate failed for " +
+                             path.string() + ": " + ec.message());
+    }
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return Status::IOError("checkpoint: publish failed for " + path.string() +
+                           ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Result<CheckpointSnapshot> FileCheckpointStore::Latest(
+    const std::string& stage, int task) {
+  const fs::path path(PathFor(stage, task));
+  const fs::path prev = path.string() + ".prev";
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const fs::path& candidate : {path, prev}) {
+    Result<std::string> bytes = ReadFileBytes(candidate);
+    if (!bytes.ok()) continue;
+    Result<CheckpointSnapshot> snap = DecodeSnapshot(*bytes);
+    if (snap.ok()) return snap;
+  }
+  return Status::NotFound("checkpoint: no valid snapshot file for worker '" +
+                          stage + "/" + std::to_string(task) + "'");
+}
+
+}  // namespace spear

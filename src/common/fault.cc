@@ -23,6 +23,8 @@ const char* FaultSiteName(FaultSite site) {
       return "spout-duplicate";
     case FaultSite::kSpoutLate:
       return "spout-late";
+    case FaultSite::kWorkerCrash:
+      return "worker-crash";
   }
   return "?";
 }

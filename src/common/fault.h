@@ -33,8 +33,10 @@ enum class FaultSite : std::uint8_t {
   kSpoutMalformed,    ///< replace an emitted tuple with a malformed one
   kSpoutDuplicate,    ///< re-emit the tuple a second time
   kSpoutLate,         ///< re-emit the tuple with a past event time
+  kWorkerCrash,       ///< kill a worker before it processes the tuple
+                      ///< (recoverable only with checkpointing enabled)
 };
-inline constexpr std::size_t kNumFaultSites = 7;
+inline constexpr std::size_t kNumFaultSites = 8;
 
 const char* FaultSiteName(FaultSite site);
 

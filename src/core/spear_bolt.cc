@@ -12,6 +12,24 @@ SpearBolt::SpearBolt(SpearOperatorConfig config,
       storage_(storage),
       decision_sink_(decision_sink) {}
 
+Result<std::string> SpearBolt::SnapshotState() {
+  if (manager_ == nullptr) {
+    return Status::FailedPrecondition("spear bolt: snapshot before Prepare");
+  }
+  return manager_->SnapshotState();
+}
+
+Status SpearBolt::RestoreState(const std::string& payload) {
+  if (manager_ == nullptr) {
+    return Status::FailedPrecondition("spear bolt: restore before Prepare");
+  }
+  return manager_->RestoreState(payload);
+}
+
+void SpearBolt::NoteRecoveryLoss(std::uint64_t lost_tuples) {
+  if (manager_ != nullptr) manager_->NoteRecoveryLoss(lost_tuples);
+}
+
 Status SpearBolt::Finish(Emitter* out) {
   (void)out;
   if (decision_sink_ != nullptr && manager_ != nullptr) {

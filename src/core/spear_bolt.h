@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "checkpoint/checkpointable.h"
 #include "core/spear_config.h"
 #include "core/spear_window_manager.h"
 #include "runtime/operator.h"
@@ -17,7 +18,7 @@
 namespace spear {
 
 /// \brief SPEAr's stateful windowed stage.
-class SpearBolt : public Bolt {
+class SpearBolt : public Bolt, public Checkpointable {
  public:
   /// \param config          the operation's window/aggregate/accuracy/budget
   /// \param value_extractor aggregation value
@@ -44,6 +45,13 @@ class SpearBolt : public Bolt {
   /// The underlying manager (valid after Prepare). Chaos tests reach
   /// through it for hooks like CorruptBudgetForTesting.
   SpearWindowManager* manager() { return manager_.get(); }
+
+  /// Checkpoint hooks forward to the window manager. The executor only
+  /// snapshots/restores between Prepare and Finish, when manager_ is live.
+  Checkpointable* checkpointable() override { return this; }
+  Result<std::string> SnapshotState() override;
+  Status RestoreState(const std::string& payload) override;
+  void NoteRecoveryLoss(std::uint64_t lost_tuples) override;
 
  private:
   Status ProcessWatermark(std::int64_t watermark, Emitter* out);

@@ -100,6 +100,10 @@ struct DecisionStats {
   /// Windows whose exact fallback could not run (spilled state unavailable
   /// after retries) and that were emitted as degraded approximations.
   std::uint64_t windows_degraded = 0;
+  /// Windows that lived through a worker crash/restore cycle (their
+  /// result tuple carries the trailing `recovered` flag; ε̂_w includes
+  /// any replay-gap loss inflation).
+  std::uint64_t windows_recovered = 0;
   /// Tuples ingested at tuple arrival (across all windows).
   std::uint64_t tuples_seen = 0;
   /// Tuples aggregated at watermark arrival (sample sizes on the
@@ -120,6 +124,7 @@ struct DecisionStats {
     windows_expedited += other.windows_expedited;
     windows_exact += other.windows_exact;
     windows_degraded += other.windows_degraded;
+    windows_recovered += other.windows_recovered;
     tuples_seen += other.tuples_seen;
     tuples_processed += other.tuples_processed;
     late_tuples += other.late_tuples;

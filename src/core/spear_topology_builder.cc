@@ -182,6 +182,18 @@ SpearTopologyBuilder& SpearTopologyBuilder::InjectFaults(
   return *this;
 }
 
+SpearTopologyBuilder& SpearTopologyBuilder::Checkpoint(
+    CheckpointConfig config) {
+  config.enabled = true;
+  checkpoint_ = std::move(config);
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::DeadLetterCap(std::size_t cap) {
+  max_dead_letters_ = cap;
+  return *this;
+}
+
 SpearTopologyBuilder& SpearTopologyBuilder::Engine(ExecutionEngine engine) {
   engine_ = engine;
   return *this;
@@ -226,6 +238,12 @@ Result<Topology> SpearTopologyBuilder::Build() const {
     return Status::Invalid(
         "GK engine supports scalar percentiles only");
   }
+  if (checkpoint_.enabled &&
+      config_.window.type == WindowType::kCountBased) {
+    return Status::Invalid(
+        "checkpointing requires a time-based window (count-based "
+        "coordinates do not survive a worker restart)");
+  }
 
   TopologyBuilder builder;
   // Chaos wiring: perturb the stream at the source when any spout site is
@@ -241,6 +259,8 @@ Result<Topology> SpearTopologyBuilder::Build() const {
   builder.QueueCapacity(queue_capacity_);
   builder.InjectFaults(fault_injector_);
   builder.RegisterStorage(storage_);
+  if (checkpoint_.enabled) builder.Checkpoint(checkpoint_);
+  builder.DeadLetterCap(max_dead_letters_);
 
   if (has_time_stage_) {
     const std::size_t field = time_field_;

@@ -114,6 +114,19 @@ class SpearTopologyBuilder {
   /// via SpillOver) should be given the same injector by the caller.
   SpearTopologyBuilder& InjectFaults(FaultInjector* injector);
 
+  /// Enables checkpoint/restore and crash recovery (Topology::checkpoint):
+  /// stateful workers snapshot their O(b) budget state every
+  /// `config.interval` ms of watermark progress and are restarted from the
+  /// latest snapshot on a crash, with replay-gap loss folded into ε̂_w.
+  /// Requires a time-based window (count-based coordinates are assigned
+  /// from a per-worker sequence that does not survive a restart) and a
+  /// replayable source spout.
+  SpearTopologyBuilder& Checkpoint(CheckpointConfig config);
+
+  /// Caps retained dead-letter/suppressed-error entries (see
+  /// Topology::max_dead_letters; default 1024).
+  SpearTopologyBuilder& DeadLetterCap(std::size_t cap);
+
   // ---- execution configuration ------------------------------------------
   SpearTopologyBuilder& Engine(ExecutionEngine engine);
   SpearTopologyBuilder& Parallelism(int workers);
@@ -148,6 +161,8 @@ class SpearTopologyBuilder {
   DecisionStatsCollector* decision_sink_ = nullptr;
   RetryPolicy stage_retry_ = RetryPolicy::None();
   FaultInjector* fault_injector_ = nullptr;
+  CheckpointConfig checkpoint_;
+  std::size_t max_dead_letters_ = 1024;
 };
 
 }  // namespace spear

@@ -2,12 +2,63 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
+#include "checkpoint/wire.h"
 #include "common/time.h"
 #include "stats/quantile.h"
 #include "window/window_assigner.h"
 
 namespace spear {
+
+namespace {
+
+/// Version byte of the manager's checkpoint payload.
+constexpr std::uint8_t kManagerPayloadVersion = 1;
+
+void AppendRunningStats(std::string* out, const RunningStats& stats) {
+  const RunningStats::State s = stats.state();
+  wire::AppendU64(out, s.count);
+  wire::AppendF64(out, s.mean);
+  wire::AppendF64(out, s.m2);
+  wire::AppendF64(out, s.m3);
+  wire::AppendF64(out, s.m4);
+  wire::AppendF64(out, s.sum);
+  wire::AppendF64(out, s.min);
+  wire::AppendF64(out, s.max);
+}
+
+Result<RunningStats> ReadRunningStats(wire::Reader* reader) {
+  RunningStats::State s;
+  SPEAR_ASSIGN_OR_RETURN(s.count, reader->ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(s.mean, reader->ReadF64());
+  SPEAR_ASSIGN_OR_RETURN(s.m2, reader->ReadF64());
+  SPEAR_ASSIGN_OR_RETURN(s.m3, reader->ReadF64());
+  SPEAR_ASSIGN_OR_RETURN(s.m4, reader->ReadF64());
+  SPEAR_ASSIGN_OR_RETURN(s.sum, reader->ReadF64());
+  SPEAR_ASSIGN_OR_RETURN(s.min, reader->ReadF64());
+  SPEAR_ASSIGN_OR_RETURN(s.max, reader->ReadF64());
+  return RunningStats::FromState(s);
+}
+
+void AppendReservoir(std::string* out,
+                     const ReservoirSampler<double>& sampler) {
+  wire::AppendU64(out, sampler.capacity());
+  wire::AppendU64(out, sampler.seen());
+  wire::AppendU64(out, sampler.sample().size());
+  for (const double v : sampler.sample()) wire::AppendF64(out, v);
+}
+
+/// The replay-gap error inflation (AF-Stream-style bounded divergence):
+/// `lost` of the window's `count + lost` tuples never reached the budget
+/// state, so any estimate can be off by at most that mass fraction (for
+/// the mean-like aggregates SPEAr bounds in relative error).
+double LossInflation(std::uint64_t count, std::uint64_t lost) {
+  if (lost == 0) return 0.0;
+  return static_cast<double>(lost) / static_cast<double>(count + lost);
+}
+
+}  // namespace
 
 const char* SpearModeName(SpearMode mode) {
   switch (mode) {
@@ -95,6 +146,15 @@ SpearWindowManager::WindowState& SpearWindowManager::StateFor(
           config_.budget.IsByteDenominated() ? max_groups_ : state.budget);
       break;
   }
+  if (pending_lost_ > 0) {
+    // Recovery loss reported while no window was active: the lost tuples'
+    // windows are unknown, so charge the first window that opens (an
+    // upper bound — better flagged too pessimistically than not at all).
+    state.lost = pending_lost_;
+    state.anomalous = true;
+    state.recovered = true;
+    pending_lost_ = 0;
+  }
   return window_states_.emplace(window_start, std::move(state)).first->second;
 }
 
@@ -135,6 +195,22 @@ void SpearWindowManager::UpdateWindowState(WindowState* state,
 
 void SpearWindowManager::NotifyDeliveryAnomaly() {
   for (auto& [start, state] : window_states_) state.anomalous = true;
+}
+
+void SpearWindowManager::NoteRecoveryLoss(std::uint64_t lost_tuples) {
+  if (lost_tuples == 0) return;
+  if (window_states_.empty()) {
+    pending_lost_ += lost_tuples;
+    return;
+  }
+  // The lost tuples' window membership is unknown (they were never
+  // replayed); charge every active window the full loss — each window's
+  // ε̂_w inflation then upper-bounds the tuples it could have missed.
+  for (auto& [start, state] : window_states_) {
+    state.lost += lost_tuples;
+    state.anomalous = true;
+    state.recovered = true;
+  }
 }
 
 void SpearWindowManager::OnTuple(std::int64_t coord, Tuple tuple) {
@@ -382,11 +458,13 @@ void SpearWindowManager::CorruptBudgetForTesting() {
 
 Result<WindowResult> SpearWindowManager::MakeDegradedResult(
     const WindowBounds& bounds, WindowState* state) {
+  const double inflate = LossInflation(state->count, state->lost);
   WindowResult result;
   result.bounds = bounds;
-  result.window_size = state->count;
+  result.window_size = state->count + state->lost;
   result.approximate = true;
   result.degraded = true;
+  result.recovered = state->recovered;
 
   switch (mode_) {
     case SpearMode::kScalarIncremental:
@@ -397,7 +475,7 @@ Result<WindowResult> SpearWindowManager::MakeDegradedResult(
       SPEAR_ASSIGN_OR_RETURN(const ScalarEstimate est,
                              EstimateScalarForState(*state));
       result.scalar = est.estimate;
-      result.estimated_error = est.epsilon_hat;
+      result.estimated_error = est.epsilon_hat + inflate;
       result.tuples_processed = state->sample->sample().size();
       return result;
     }
@@ -407,7 +485,7 @@ Result<WindowResult> SpearWindowManager::MakeDegradedResult(
           EstimateGrouped(config_.aggregate, *state->groups, state->budget,
                           config_.accuracy, config_.group_error_norm,
                           config_.quantile_bound));
-      result.estimated_error = est.epsilon_hat;
+      result.estimated_error = est.epsilon_hat + inflate;
       SPEAR_RETURN_NOT_OK(PopulateGroupedResultFromReservoirs(*state, &result));
       return result;
     }
@@ -425,7 +503,7 @@ Result<WindowResult> SpearWindowManager::MakeDegradedResult(
           EstimateGrouped(config_.aggregate, *state->groups, state->budget,
                           config_.accuracy, config_.group_error_norm,
                           config_.quantile_bound));
-      result.estimated_error = est.epsilon_hat;
+      result.estimated_error = est.epsilon_hat + inflate;
       result.is_grouped = true;
       result.groups.reserve(state->groups->num_groups());
       std::uint64_t processed = 0;
@@ -456,9 +534,19 @@ Result<WindowResult> SpearWindowManager::DecideWindow(
   *needs_scan = false;
   *needs_exact = false;
 
+  // Replay-gap inflation: an estimate is only accepted when ε̂_w plus the
+  // recovery loss ratio still meets the spec — the AF-Stream contract
+  // folded into the paper's expedite test.
+  const double inflate = LossInflation(state->count, state->lost);
+  const auto meets_spec = [&](double epsilon_hat) {
+    return inflate == 0.0 ||
+           epsilon_hat + inflate <= config_.accuracy.epsilon;
+  };
+
   WindowResult result;
   result.bounds = bounds;
-  result.window_size = state->count;
+  result.window_size = state->count + state->lost;
+  result.recovered = state->recovered;
 
   // Corrupted budget state means no estimate can be trusted: fall back to
   // the exact path (the safe direction of the degradation trade).
@@ -484,10 +572,10 @@ Result<WindowResult> SpearWindowManager::DecideWindow(
       // the window when even that fails the spec (paper Sec. 4.1).
       SPEAR_ASSIGN_OR_RETURN(const ScalarEstimate est,
                              EstimateScalarForState(*state));
-      if (est.accepted) {
+      if (est.accepted && meets_spec(est.epsilon_hat)) {
         result.scalar = est.estimate;
         result.approximate = true;
-        result.estimated_error = est.epsilon_hat;
+        result.estimated_error = est.epsilon_hat + inflate;
         result.tuples_processed = state->sample->sample().size();
         return result;
       }
@@ -498,10 +586,10 @@ Result<WindowResult> SpearWindowManager::DecideWindow(
     case SpearMode::kScalarQuantile: {
       SPEAR_ASSIGN_OR_RETURN(const ScalarEstimate est,
                              EstimateScalarForState(*state));
-      if (est.accepted) {
+      if (est.accepted && meets_spec(est.epsilon_hat)) {
         result.scalar = est.estimate;
         result.approximate = true;
-        result.estimated_error = est.epsilon_hat;
+        result.estimated_error = est.epsilon_hat + inflate;
         result.tuples_processed = state->sample->sample().size();
         return result;
       }
@@ -514,9 +602,9 @@ Result<WindowResult> SpearWindowManager::DecideWindow(
           EstimateGrouped(config_.aggregate, *state->groups, state->budget,
                           config_.accuracy, config_.group_error_norm,
                           config_.quantile_bound));
-      if (est.accepted) {
+      if (est.accepted && meets_spec(est.epsilon_hat)) {
         result.approximate = true;
-        result.estimated_error = est.epsilon_hat;
+        result.estimated_error = est.epsilon_hat + inflate;
         SPEAR_RETURN_NOT_OK(
             PopulateGroupedResultFromScan(bounds, est.allocations, &result));
         *needs_scan = true;
@@ -551,9 +639,9 @@ Result<WindowResult> SpearWindowManager::DecideWindow(
               config_.aggregate, *state->groups, std::move(allocations),
               config_.accuracy, config_.group_error_norm,
               config_.quantile_bound));
-      if (est.accepted) {
+      if (est.accepted && meets_spec(est.epsilon_hat)) {
         result.approximate = true;
-        result.estimated_error = est.epsilon_hat;
+        result.estimated_error = est.epsilon_hat + inflate;
         SPEAR_RETURN_NOT_OK(
             PopulateGroupedResultFromReservoirs(*state, &result));
         return result;
@@ -598,6 +686,7 @@ Result<std::vector<WindowResult>> SpearWindowManager::OnWatermark(
 
       std::int64_t window_ns = 0;
       WindowResult result;
+      const bool recovered_window = state_it->second.recovered;
       {
         ScopedTimerNs timer(&window_ns);
         // The grouped accept path scans the buffer; make sure spilled
@@ -605,7 +694,7 @@ Result<std::vector<WindowResult>> SpearWindowManager::OnWatermark(
         // here is survivable: the decision below falls back to the
         // tracker-only degraded path.
         bool unspill_failed = false;
-        if ((mode_ == SpearMode::kGroupedUnknown) &&
+        if (mode_ == SpearMode::kGroupedUnknown && !recovered_window &&
             !spilled_coords_.empty()) {
           const Status fetched = UnspillAll();
           if (!fetched.ok()) {
@@ -615,34 +704,55 @@ Result<std::vector<WindowResult>> SpearWindowManager::OnWatermark(
         }
         if (unspill_failed) {
           needs_exact = true;
+        } else if (mode_ == SpearMode::kGroupedUnknown && recovered_window &&
+                   !BudgetStateCorrupted(state_it->second)) {
+          // A restored window's raw buffer is incomplete (snapshots are
+          // O(b)), so the stratified-sample scan cannot run: answer from
+          // the tracker alone, flagged.
+          SPEAR_ASSIGN_OR_RETURN(
+              result, MakeDegradedResult(bounds, &state_it->second));
+          degraded = true;
         } else {
           SPEAR_ASSIGN_OR_RETURN(
               result, DecideWindow(bounds, &state_it->second, &needs_scan,
                                    &needs_exact));
         }
-        if (needs_exact) {
-          // Alg. 2 line 5: g(S.get(tau_w)) — the whole window, possibly
-          // fetched back from S, processed exactly.
-          const Status fetched =
-              unspill_failed ? Status::Unavailable("spill run unavailable")
-                             : UnspillAll();
-          if (fetched.ok()) {
-            SPEAR_ASSIGN_OR_RETURN(CompleteWindow window,
-                                   MaterializeWindow(bounds));
-            SPEAR_ASSIGN_OR_RETURN(result, exact_operator_.Process(window));
-          } else if (fetched.IsUnavailable() &&
-                     !BudgetStateCorrupted(state_it->second)) {
-            // The exact fallback cannot run (S stayed unavailable after
-            // retries). Degrade: emit the budget estimate, flagged.
+        if (needs_exact && !degraded) {
+          if (recovered_window && !BudgetStateCorrupted(state_it->second)) {
+            // Same reasoning as above: an "exact" result from the partial
+            // post-restore buffer would be silently wrong. Degrade to the
+            // budget estimate with the loss-inflated ε̂_w instead.
             SPEAR_ASSIGN_OR_RETURN(
                 result, MakeDegradedResult(bounds, &state_it->second));
             degraded = true;
           } else {
-            return fetched;
+            // Alg. 2 line 5: g(S.get(tau_w)) — the whole window, possibly
+            // fetched back from S, processed exactly.
+            const Status fetched =
+                unspill_failed ? Status::Unavailable("spill run unavailable")
+                               : UnspillAll();
+            if (fetched.ok()) {
+              SPEAR_ASSIGN_OR_RETURN(CompleteWindow window,
+                                     MaterializeWindow(bounds));
+              SPEAR_ASSIGN_OR_RETURN(result, exact_operator_.Process(window));
+            } else if (fetched.IsUnavailable() &&
+                       !BudgetStateCorrupted(state_it->second)) {
+              // The exact fallback cannot run (S stayed unavailable after
+              // retries). Degrade: emit the budget estimate, flagged.
+              SPEAR_ASSIGN_OR_RETURN(
+                  result, MakeDegradedResult(bounds, &state_it->second));
+              degraded = true;
+            } else {
+              return fetched;
+            }
           }
         }
       }
       result.processing_ns = window_ns;
+      if (recovered_window) {
+        result.recovered = true;  // survives the exact-path overwrite
+        ++decision_stats_.windows_recovered;
+      }
       if (degraded) {
         ++decision_stats_.windows_degraded;
         if (metrics_ != nullptr) metrics_->AddDegradedWindows(1);
@@ -706,6 +816,221 @@ void SpearWindowManager::EvictExpired() {
       spilled_coords_.clear();
     }
   }
+}
+
+Result<std::string> SpearWindowManager::SnapshotState() const {
+  std::string out;
+  wire::AppendU8(&out, kManagerPayloadVersion);
+  wire::AppendU8(&out, static_cast<std::uint8_t>(mode_));
+  wire::AppendI64(&out, last_watermark_);
+  wire::AppendI64(&out, next_window_start_);
+  wire::AppendU8(&out, saw_any_tuple_ ? 1 : 0);
+  wire::AppendU64(&out, sampler_seq_);
+  wire::AppendU64(&out, spill_seq_);
+  wire::AppendU64(&out, spill_failures_);
+  wire::AppendU64(&out, pending_lost_);
+
+  // Spill manifest: which coordinates live in S under the current run key.
+  // Serialized for accounting only — restore discards the adopted run and
+  // lets replay rebuild a fresh one, keeping S duplicate-free.
+  wire::AppendU64(&out, spilled_coords_.size());
+  for (const std::int64_t c : spilled_coords_) wire::AppendI64(&out, c);
+
+  wire::AppendU64(&out, decision_stats_.windows_total);
+  wire::AppendU64(&out, decision_stats_.windows_expedited);
+  wire::AppendU64(&out, decision_stats_.windows_exact);
+  wire::AppendU64(&out, decision_stats_.windows_degraded);
+  wire::AppendU64(&out, decision_stats_.windows_recovered);
+  wire::AppendU64(&out, decision_stats_.tuples_seen);
+  wire::AppendU64(&out, decision_stats_.tuples_processed);
+  wire::AppendU64(&out, decision_stats_.late_tuples);
+
+  wire::AppendU64(&out, window_states_.size());
+  for (const auto& [start, state] : window_states_) {
+    wire::AppendI64(&out, start);
+    wire::AppendU64(&out, state.budget);
+    wire::AppendU64(&out, state.count);
+    wire::AppendU64(&out, state.lost);
+    wire::AppendU8(&out, state.anomalous ? 1 : 0);
+    wire::AppendU8(&out, state.recovered ? 1 : 0);
+    AppendRunningStats(&out, state.stats);
+    wire::AppendU8(&out, state.sample ? 1 : 0);
+    if (state.sample) AppendReservoir(&out, *state.sample);
+    wire::AppendU8(&out, state.groups ? 1 : 0);
+    if (state.groups) {
+      wire::AppendU64(&out, state.groups->max_groups());
+      wire::AppendU8(&out, state.groups->overflowed() ? 1 : 0);
+      wire::AppendU64(&out, state.groups->num_groups());
+      for (const auto& [key, stats] : state.groups->groups()) {
+        wire::AppendString(&out, key);
+        AppendRunningStats(&out, stats);
+      }
+    }
+    wire::AppendU64(&out, state.group_samples.size());
+    for (const auto& [key, sampler] : state.group_samples) {
+      wire::AppendString(&out, key);
+      AppendReservoir(&out, sampler);
+    }
+  }
+  return out;
+}
+
+Status SpearWindowManager::RestoreState(const std::string& payload) {
+  wire::Reader reader(payload);
+  SPEAR_ASSIGN_OR_RETURN(const std::uint8_t version, reader.ReadU8());
+  if (version != kManagerPayloadVersion) {
+    return Status::Invalid("spear snapshot: unsupported payload version " +
+                           std::to_string(version));
+  }
+  SPEAR_ASSIGN_OR_RETURN(const std::uint8_t mode, reader.ReadU8());
+  if (mode != static_cast<std::uint8_t>(mode_)) {
+    return Status::Invalid(
+        "spear snapshot: mode mismatch (snapshot was taken by a "
+        "differently configured operator)");
+  }
+
+  // From here on the manager is rebuilt wholesale; the raw buffer was not
+  // serialized and starts empty (the executor replays what it logged).
+  buffer_.clear();
+  spilled_coords_.clear();
+  window_states_.clear();
+
+  SPEAR_ASSIGN_OR_RETURN(last_watermark_, reader.ReadI64());
+  SPEAR_ASSIGN_OR_RETURN(next_window_start_, reader.ReadI64());
+  SPEAR_ASSIGN_OR_RETURN(const std::uint8_t saw, reader.ReadU8());
+  saw_any_tuple_ = saw != 0;
+  SPEAR_ASSIGN_OR_RETURN(sampler_seq_, reader.ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(spill_seq_, reader.ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(spill_failures_, reader.ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(pending_lost_, reader.ReadU64());
+
+  SPEAR_ASSIGN_OR_RETURN(const std::uint64_t manifest_size, reader.ReadU64());
+  spilled_coords_.reserve(manifest_size);
+  for (std::uint64_t k = 0; k < manifest_size; ++k) {
+    SPEAR_ASSIGN_OR_RETURN(const std::int64_t c, reader.ReadI64());
+    spilled_coords_.push_back(c);
+  }
+  // The replay that follows re-feeds the tuples that filled the adopted
+  // run, and they will spill again. Appending them to the old run would
+  // double every spilled tuple, so discard it and start a fresh run —
+  // nothing is lost: every restored window is recovered, and recovered
+  // windows answer from budget state, never from the raw spill run.
+  if (storage_ != nullptr && !spilled_coords_.empty()) {
+    storage_->Erase(spill_key_ + "/" + std::to_string(spill_seq_));
+    ++spill_seq_;
+    spilled_coords_.clear();
+  }
+
+  SPEAR_ASSIGN_OR_RETURN(decision_stats_.windows_total, reader.ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(decision_stats_.windows_expedited, reader.ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(decision_stats_.windows_exact, reader.ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(decision_stats_.windows_degraded, reader.ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(decision_stats_.windows_recovered, reader.ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(decision_stats_.tuples_seen, reader.ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(decision_stats_.tuples_processed, reader.ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(decision_stats_.late_tuples, reader.ReadU64());
+
+  SPEAR_ASSIGN_OR_RETURN(const std::uint64_t num_windows, reader.ReadU64());
+  for (std::uint64_t w = 0; w < num_windows; ++w) {
+    SPEAR_ASSIGN_OR_RETURN(const std::int64_t start, reader.ReadI64());
+    WindowState state;
+    SPEAR_ASSIGN_OR_RETURN(state.budget, reader.ReadU64());
+    SPEAR_ASSIGN_OR_RETURN(state.count, reader.ReadU64());
+    SPEAR_ASSIGN_OR_RETURN(state.lost, reader.ReadU64());
+    SPEAR_ASSIGN_OR_RETURN(const std::uint8_t anomalous, reader.ReadU8());
+    state.anomalous = anomalous != 0;
+    SPEAR_ASSIGN_OR_RETURN(const std::uint8_t recovered, reader.ReadU8());
+    (void)recovered;
+    // Every restored window is a recovered window, whatever it was when
+    // snapshotted: its raw buffer did not survive.
+    state.recovered = true;
+    SPEAR_ASSIGN_OR_RETURN(state.stats, ReadRunningStats(&reader));
+
+    SPEAR_ASSIGN_OR_RETURN(const std::uint8_t has_sample, reader.ReadU8());
+    if (has_sample != 0) {
+      SPEAR_ASSIGN_OR_RETURN(const std::uint64_t capacity, reader.ReadU64());
+      SPEAR_ASSIGN_OR_RETURN(const std::uint64_t seen, reader.ReadU64());
+      SPEAR_ASSIGN_OR_RETURN(const std::uint64_t n, reader.ReadU64());
+      std::vector<double> values;
+      values.reserve(n);
+      for (std::uint64_t k = 0; k < n; ++k) {
+        SPEAR_ASSIGN_OR_RETURN(const double v, reader.ReadF64());
+        values.push_back(v);
+      }
+      if (capacity == 0) {
+        return Status::Invalid("spear snapshot: reservoir capacity 0");
+      }
+      state.sample = std::make_unique<ReservoirSampler<double>>(
+          capacity, config_.seed + sampler_seq_++);
+      SPEAR_RETURN_NOT_OK(state.sample->Restore(std::move(values), seen));
+    }
+
+    SPEAR_ASSIGN_OR_RETURN(const std::uint8_t has_groups, reader.ReadU8());
+    if (has_groups != 0) {
+      SPEAR_ASSIGN_OR_RETURN(const std::uint64_t max_groups, reader.ReadU64());
+      SPEAR_ASSIGN_OR_RETURN(const std::uint8_t overflowed, reader.ReadU8());
+      SPEAR_ASSIGN_OR_RETURN(const std::uint64_t n, reader.ReadU64());
+      state.groups = std::make_unique<GroupStatsTracker>(max_groups);
+      for (std::uint64_t k = 0; k < n; ++k) {
+        SPEAR_ASSIGN_OR_RETURN(const std::string key, reader.ReadString());
+        SPEAR_ASSIGN_OR_RETURN(const RunningStats stats,
+                               ReadRunningStats(&reader));
+        state.groups->RestoreGroup(key, stats);
+      }
+      if (overflowed != 0) state.groups->MarkOverflowed();
+    }
+
+    SPEAR_ASSIGN_OR_RETURN(const std::uint64_t num_samplers, reader.ReadU64());
+    for (std::uint64_t k = 0; k < num_samplers; ++k) {
+      SPEAR_ASSIGN_OR_RETURN(const std::string key, reader.ReadString());
+      SPEAR_ASSIGN_OR_RETURN(const std::uint64_t capacity, reader.ReadU64());
+      SPEAR_ASSIGN_OR_RETURN(const std::uint64_t seen, reader.ReadU64());
+      SPEAR_ASSIGN_OR_RETURN(const std::uint64_t n, reader.ReadU64());
+      std::vector<double> values;
+      values.reserve(n);
+      for (std::uint64_t j = 0; j < n; ++j) {
+        SPEAR_ASSIGN_OR_RETURN(const double v, reader.ReadF64());
+        values.push_back(v);
+      }
+      if (capacity == 0) {
+        return Status::Invalid("spear snapshot: reservoir capacity 0");
+      }
+      auto [it, inserted] = state.group_samples.emplace(
+          key, ReservoirSampler<double>(capacity,
+                                        config_.seed + sampler_seq_++));
+      if (!inserted) {
+        return Status::Invalid("spear snapshot: duplicate group sampler");
+      }
+      SPEAR_RETURN_NOT_OK(it->second.Restore(std::move(values), seen));
+    }
+
+    window_states_.emplace(start, std::move(state));
+  }
+  if (!reader.exhausted()) {
+    return Status::Invalid("spear snapshot: trailing bytes");
+  }
+
+  // Re-adopt the spill manifest: the storage run may have grown past it
+  // (spills between the snapshot and the crash), and post-restore replays
+  // would re-spill those same tuples. Truncate the run back to the
+  // manifest (S preserves insertion order) so replayed spills append to a
+  // consistent prefix. If S is unavailable, drop the manifest instead —
+  // recovered windows never materialize raw tuples, so this only costs
+  // custody of already-lost data.
+  if (!spilled_coords_.empty()) {
+    bool adopted = false;
+    if (storage_ != nullptr) {
+      const std::string key = spill_key_ + "/" + std::to_string(spill_seq_);
+      Result<std::vector<Tuple>> run = storage_->Get(key);
+      if (run.ok() && run->size() >= spilled_coords_.size()) {
+        run->resize(spilled_coords_.size());
+        storage_->Erase(key);
+        if (storage_->StoreBatch(key, std::move(*run)).ok()) adopted = true;
+      }
+    }
+    if (!adopted) spilled_coords_.clear();
+  }
+  return Status::OK();
 }
 
 std::size_t SpearWindowManager::BudgetMemoryBytes() const {

@@ -89,6 +89,33 @@ class SpearWindowManager {
   /// active windows that should have contained them.
   void NotifyDeliveryAnomaly();
 
+  /// Serializes the manager's O(b) state for checkpointing: budget state
+  /// of every active window (running moments, reservoir contents, group
+  /// trackers), watermark/window bookkeeping, the spill manifest, and the
+  /// decision statistics. The raw in-memory tuple buffer is deliberately
+  /// NOT serialized — that is the whole point of approximate fault
+  /// tolerance (AF-Stream): the snapshot stays O(b), and what the buffer
+  /// held is either replayed by the executor or accounted as loss.
+  Result<std::string> SnapshotState() const;
+
+  /// Replaces this manager's state with a snapshot produced by
+  /// SnapshotState() on an identically configured manager. Every restored
+  /// window is flagged `recovered`: its raw buffer is incomplete, so the
+  /// exact fallback and the grouped stratified scan are off the table —
+  /// those windows answer from the budget state (possibly degraded).
+  /// Re-adopts the snapshot's spill manifest, truncating the storage run
+  /// back to the manifest so post-restore replays cannot duplicate
+  /// spilled tuples; an unavailable S drops the manifest instead (the
+  /// recovered windows never materialize raw tuples anyway).
+  Status RestoreState(const std::string& payload);
+
+  /// Accounts `lost_tuples` consumed-but-unreplayable tuples (they fell
+  /// off the executor's bounded replay log): every active window's ε̂_w
+  /// gains the loss ratio lost/(count+lost) and the window is flagged
+  /// anomalous + recovered. With no active window the loss is attached to
+  /// the next window that opens.
+  void NoteRecoveryLoss(std::uint64_t lost_tuples);
+
   SpearMode mode() const { return mode_; }
   const SpearOperatorConfig& config() const { return config_; }
   const DecisionStats& decision_stats() const { return decision_stats_; }
@@ -146,6 +173,12 @@ class SpearWindowManager {
     /// (paper Sec. 4.1: "SPEAr uses b's contents only when an anomaly is
     /// detected in tuple delivery").
     bool anomalous = false;
+    /// The window lived through a crash/restore cycle: its raw buffer is
+    /// incomplete, so exact fallback and buffer scans are unavailable.
+    bool recovered = false;
+    /// Consumed tuples lost from this window's budget state in recovery
+    /// (beyond the replay log); inflates ε̂_w by lost/(count+lost).
+    std::uint64_t lost = 0;
     RunningStats stats;                    ///< full-window moments (scalar)
     std::unique_ptr<ReservoirSampler<double>> sample;  ///< scalar modes
     std::unique_ptr<GroupStatsTracker> groups;         ///< grouped modes
@@ -223,6 +256,9 @@ class SpearWindowManager {
   bool saw_any_tuple_ = false;
   std::int64_t last_watermark_;
   std::uint64_t sampler_seq_ = 0;
+  /// Recovery loss reported while no window was active; charged to the
+  /// next window that opens (see NoteRecoveryLoss).
+  std::uint64_t pending_lost_ = 0;
 
   WorkerMetrics* metrics_ = nullptr;
   std::uint64_t spill_failures_ = 0;

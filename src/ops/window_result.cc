@@ -32,6 +32,7 @@ std::string WindowResult::ToString() const {
     out += buf;
   }
   if (degraded) out += " [degraded]";
+  if (recovered) out += " [recovered]";
   return out;
 }
 

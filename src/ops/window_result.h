@@ -32,6 +32,12 @@ struct WindowResult {
   /// from the sample *without* meeting the accuracy spec. `approximate`
   /// is also true and `estimated_error` carries the (unmet) estimate.
   bool degraded = false;
+  /// True when the window lived through a worker crash/restore cycle.
+  /// If tuples were lost from the budget state in recovery (they fell off
+  /// the bounded replay log), `estimated_error` already includes the
+  /// AF-Stream-style loss inflation and `window_size` counts the lost
+  /// tuples.
+  bool recovered = false;
   /// The estimator's error bound for this window (only meaningful when
   /// `approximate` is true).
   double estimated_error = 0.0;

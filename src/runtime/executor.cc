@@ -1,10 +1,16 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
+#include <deque>
 #include <exception>
 #include <iterator>
+#include <string>
 #include <thread>
+#include <unordered_set>
+#include <utility>
 
+#include "checkpoint/checkpoint.h"
+#include "checkpoint/checkpointable.h"
 #include "common/logging.h"
 #include "common/retry_policy.h"
 #include "common/time.h"
@@ -62,6 +68,53 @@ Status GuardedBoltCall(StatusCode code, const char* what, Fn&& fn) {
     return Status(code, std::string(what) + " threw a non-std exception");
   }
 }
+
+/// Window-result deduplication around a crash/restore cycle.
+///
+/// Wraps a checkpointable worker's emitter and keys every emitted window
+/// result by (window start, window end[, group key]) — the leading fields
+/// of the WindowResultToTuples layout. Keys are recorded always; emissions
+/// are *suppressed* only while armed, i.e. during recovery catch-up, when
+/// the restored manager re-closes windows that were already delivered
+/// before the crash. The seen set is cleared after every successful
+/// snapshot: windows emitted before a snapshot are no longer part of any
+/// restorable state, so they can never re-emit.
+class WindowDedupEmitter : public Emitter {
+ public:
+  explicit WindowDedupEmitter(Emitter* inner) : inner_(inner) {}
+
+  void Emit(Tuple tuple) override {
+    std::string key;
+    if (ResultKey(tuple, &key)) {
+      const bool fresh = seen_.insert(std::move(key)).second;
+      if (!fresh && armed_) return;  // already delivered before the crash
+    }
+    inner_->Emit(std::move(tuple));
+  }
+
+  void Arm() { armed_ = true; }
+  void Disarm() { armed_ = false; }
+  void ClearSeen() { seen_.clear(); }
+
+ private:
+  static bool ResultKey(const Tuple& tuple, std::string* key) {
+    if (tuple.num_fields() < 2 || !tuple.field(0).is_int64() ||
+        !tuple.field(1).is_int64()) {
+      return false;
+    }
+    *key = std::to_string(tuple.field(0).AsInt64()) + "|" +
+           std::to_string(tuple.field(1).AsInt64());
+    if (tuple.num_fields() > 2 && tuple.field(2).is_string()) {
+      // Grouped layout: one result tuple per (window, group).
+      *key += "|" + tuple.field(2).AsString();
+    }
+    return true;
+  }
+
+  Emitter* inner_;
+  bool armed_ = false;
+  std::unordered_set<std::string> seen_;
+};
 
 }  // namespace
 
@@ -159,6 +212,28 @@ Result<RunReport> Executor::Run() {
   // have tripped their stop flag).
   for (SecondaryStorage* s : topology_.storages) s->ResetSimulatedLatency();
 
+  // Checkpoint/recovery wiring. A run-private in-memory store is enough
+  // for in-process worker restarts; an external store (file-backed) only
+  // matters when the caller wants snapshots to outlive the process.
+  const CheckpointConfig& ckpt = topology_.checkpoint;
+  std::unique_ptr<InMemoryCheckpointStore> private_store;
+  CheckpointStore* ckpt_store = ckpt.store;
+  if (ckpt.enabled && ckpt_store == nullptr) {
+    private_store = std::make_unique<InMemoryCheckpointStore>();
+    ckpt_store = private_store.get();
+  }
+  // Source replay offset at the last completed NextBatch, recorded into
+  // snapshot headers (advisory: in-process recovery replays from the
+  // per-worker log; the offset lets an external driver re-seek a
+  // re-created source after a full-process restart).
+  std::atomic<std::uint64_t> source_offset{0};
+
+  // Dead-letter retention cap, shared across workers (admission counter);
+  // the overflow is counted, not retained.
+  const std::size_t max_dead_letters = topology_.max_dead_letters;
+  std::atomic<std::uint64_t> dead_letters_admitted{0};
+  std::atomic<std::uint64_t> dropped_dead_letters{0};
+
   // --- Wiring (single-threaded setup) ------------------------------------
   // queues[i][t]: input queue of stage i, task t.
   std::vector<std::vector<std::unique_ptr<ElementQueue>>> queues(num_stages);
@@ -196,7 +271,8 @@ Result<RunReport> Executor::Run() {
       bool expected = false;
       if (failed.compare_exchange_strong(expected, true)) {
         first_error = status;
-      } else if (!(status == first_error) &&
+      } else if (suppressed_errors.size() < max_dead_letters &&
+                 !(status == first_error) &&
                  std::find(suppressed_errors.begin(), suppressed_errors.end(),
                            status) == suppressed_errors.end()) {
         suppressed_errors.push_back(status);
@@ -270,6 +346,19 @@ Result<RunReport> Executor::Run() {
             (static_cast<std::uint64_t>(i) << 32) ^
             static_cast<std::uint64_t>(task) ^ 0x5EA45EA4ULL;
 
+        // --- Checkpoint/recovery state (inert when checkpointing is off:
+        // cp stays null, no logging, no snapshots, no dedup hashing) ----
+        Checkpointable* cp = ckpt.enabled ? bolt->checkpointable() : nullptr;
+        const bool log_replay = cp != nullptr;
+        WindowDedupEmitter dedup(&emitter);
+        Emitter* const bolt_out =
+            log_replay ? static_cast<Emitter*>(&dedup) : &emitter;
+        std::deque<Tuple> replay_log;
+        std::uint64_t consumed_since_snapshot = 0;
+        Timestamp last_snapshot_wm = kMinTimestamp;
+        std::uint64_t snapshot_seq = 0;
+        int restarts = 0;
+
         const int channels = i == 0 ? 1 : topology_.stages[i - 1].parallelism;
         std::vector<Timestamp> channel_wm(
             static_cast<std::size_t>(channels), kMinTimestamp);
@@ -277,6 +366,86 @@ Result<RunReport> Executor::Run() {
             static_cast<std::size_t>(channels), false);
         int flushed_count = 0;
         Timestamp local_wm = kMinTimestamp;
+
+        // Tears a failed bolt down and rebuilds it in place: fresh
+        // instance, state restored from the latest valid snapshot, replay
+        // log re-fed, windows re-closed up to the worker's watermark with
+        // duplicate results suppressed. Returns OK when the worker may
+        // keep consuming; otherwise the error that cancels the run.
+        auto attempt_recovery = [&](const Status& cause) -> Status {
+          if (!ckpt.enabled || failed.load(std::memory_order_relaxed)) {
+            return cause;
+          }
+          if (restarts >= ckpt.max_recoveries_per_worker) {
+            return Status(cause.code(),
+                          "worker recovery budget exhausted after " +
+                              std::to_string(restarts) +
+                              " restarts: " + cause.message());
+          }
+          ++restarts;
+          metrics->AddWorkerRestarts(1);
+          bolt = my_stage.bolt_factory(task);
+          if (bolt == nullptr) {
+            return Status::Internal("stage '" + my_stage.name +
+                                    "' factory returned null bolt during "
+                                    "recovery");
+          }
+          if (Status s = GuardedBoltCall(
+                  StatusCode::kInternal, "bolt prepare (recovery)",
+                  [&] { return bolt->Prepare(ctx); });
+              !s.ok()) {
+            return s;
+          }
+          cp = bolt->checkpointable();
+          if (cp == nullptr) return Status::OK();  // stateless: fresh bolt
+
+          // kNotFound = crash before the first snapshot: start from fresh
+          // state, the whole replay log re-feeds it.
+          Result<CheckpointSnapshot> snap =
+              ckpt_store->Latest(my_stage.name, task);
+          if (snap.ok()) {
+            if (Status s = cp->RestoreState(snap->payload); !s.ok()) {
+              return s;
+            }
+          } else if (!snap.status().IsNotFound()) {
+            return snap.status();
+          }
+          // Tuples consumed since the snapshot that fell off the bounded
+          // log are unrecoverable; fold them into the affected windows'
+          // error estimates instead of silently ignoring them.
+          if (consumed_since_snapshot > replay_log.size()) {
+            cp->NoteRecoveryLoss(consumed_since_snapshot -
+                                 replay_log.size());
+          }
+          // Catch back up. The dedup emitter is armed so windows that
+          // were already delivered before the crash are suppressed —
+          // downstream sees every window result at most once.
+          dedup.Arm();
+          Status catch_up = Status::OK();
+          for (const Tuple& logged : replay_log) {
+            Status es = GuardedBoltCall(
+                StatusCode::kInvalidArgument, "bolt execute (replay)",
+                [&] { return bolt->Execute(logged, bolt_out); });
+            if (!es.ok() && ClassifyFailure(es) == FailureClass::kFatal) {
+              catch_up = es;
+              break;
+            }
+            // Transient/data replay failures: the tuple was already
+            // retried or quarantined on first delivery; skip it here.
+          }
+          if (catch_up.ok() && local_wm != kMinTimestamp) {
+            catch_up = GuardedBoltCall(
+                StatusCode::kInternal, "bolt watermark (recovery)",
+                [&] { return bolt->OnWatermark(local_wm, bolt_out); });
+            if (catch_up.ok() && emitter.HasDownstream()) {
+              // Downstream alignment is max-based per channel, so
+              // re-announcing the same watermark is idempotent.
+              emitter.Broadcast(Element::MakeWatermark(local_wm, task));
+            }
+          }
+          dedup.Disarm();
+          return catch_up;
+        };
 
         std::vector<Element> batch;
         batch.reserve(batch_max);
@@ -306,13 +475,36 @@ Result<RunReport> Executor::Run() {
               switch (element.kind) {
                 case Element::Kind::kTuple: {
                   ++batch_tuples;
+                  // Crash site: consulted in every worker whenever an
+                  // injector arms it, so a fired crash with checkpointing
+                  // disabled fails the run — the recovery subsystem is
+                  // load-bearing, not decorative.
+                  if (topology_.fault_injector != nullptr &&
+                      topology_.fault_injector->armed(
+                          FaultSite::kWorkerCrash) &&
+                      topology_.fault_injector->Tick(FaultSite::kWorkerCrash)
+                          .fire) {
+                    status = attempt_recovery(Status::Internal(
+                        "injected fault: worker crash at stage '" +
+                        my_stage.name + "' task " + std::to_string(task)));
+                    if (!status.ok()) break;
+                    // Recovered; the crash hit before this tuple was
+                    // consumed, so it now processes normally.
+                  }
+                  if (log_replay) {
+                    if (replay_log.size() >= ckpt.max_replay_tuples) {
+                      replay_log.pop_front();  // oldest tuple becomes loss
+                    }
+                    replay_log.push_back(element.tuple);
+                    ++consumed_since_snapshot;
+                  }
                   // Supervised delivery: a thrown exception is a data
                   // error (confined to this tuple); transient failures
                   // are retried under the stage policy; what still fails
                   // non-transiently is quarantined, not fatal.
                   status = GuardedBoltCall(
                       StatusCode::kInvalidArgument, "bolt execute",
-                      [&] { return bolt->Execute(element.tuple, &emitter); });
+                      [&] { return bolt->Execute(element.tuple, bolt_out); });
                   int attempts = 1;
                   if (!status.ok() && my_stage.retry.enabled()) {
                     Backoff backoff(my_stage.retry, retry_seed);
@@ -328,18 +520,32 @@ Result<RunReport> Executor::Run() {
                       status = GuardedBoltCall(
                           StatusCode::kInvalidArgument, "bolt execute",
                           [&] {
-                            return bolt->Execute(element.tuple, &emitter);
+                            return bolt->Execute(element.tuple, bolt_out);
                           });
                       if (status.ok()) metrics->AddRecovered(1);
                     }
                   }
                   if (!status.ok() &&
                       ClassifyFailure(status) == FailureClass::kData) {
-                    dead_letters->push_back(
-                        DeadLetter{my_stage.name, task, attempts, status,
-                                   std::move(element.tuple)});
+                    if (dead_letters_admitted.fetch_add(
+                            1, std::memory_order_relaxed) <
+                        max_dead_letters) {
+                      dead_letters->push_back(
+                          DeadLetter{my_stage.name, task, attempts, status,
+                                     std::move(element.tuple)});
+                    } else {
+                      dropped_dead_letters.fetch_add(
+                          1, std::memory_order_relaxed);
+                    }
                     metrics->AddQuarantined(1);
                     status = Status::OK();  // the run goes on
+                  }
+                  if (!status.ok()) {
+                    // Fatal or retry-exhausted: last resort is a restart
+                    // from the checkpoint (the failing tuple is in the
+                    // replay log; a deterministic failure exhausts the
+                    // recovery budget and then cancels the run).
+                    status = attempt_recovery(status);
                   }
                   break;
                 }
@@ -353,14 +559,54 @@ Result<RunReport> Executor::Run() {
                     local_wm = aligned;
                     // Watermark work is not idempotent (window state
                     // advances), so it is guarded but never retried; an
-                    // escaped exception here is fatal.
+                    // escaped exception here is recovered from the
+                    // checkpoint when enabled, fatal otherwise.
                     status = GuardedBoltCall(
                         StatusCode::kInternal, "bolt watermark", [&] {
-                          return bolt->OnWatermark(local_wm, &emitter);
+                          return bolt->OnWatermark(local_wm, bolt_out);
                         });
-                    if (status.ok() && emitter.HasDownstream()) {
-                      emitter.Broadcast(
-                          Element::MakeWatermark(local_wm, task));
+                    if (status.ok()) {
+                      if (emitter.HasDownstream()) {
+                        emitter.Broadcast(
+                            Element::MakeWatermark(local_wm, task));
+                      }
+                      if (log_replay && cp != nullptr &&
+                          local_wm != WatermarkGenerator::FinalWatermark() &&
+                          (last_snapshot_wm == kMinTimestamp ||
+                           local_wm - last_snapshot_wm >=
+                               static_cast<Timestamp>(ckpt.interval))) {
+                        // Snapshot right after emission: just-closed
+                        // windows are out of the state, so the payload is
+                        // O(b) in the open windows' budgets.
+                        Result<std::string> payload = cp->SnapshotState();
+                        if (payload.ok()) {
+                          CheckpointSnapshot snapshot;
+                          snapshot.stage = my_stage.name;
+                          snapshot.task = task;
+                          snapshot.sequence = snapshot_seq++;
+                          snapshot.watermark = local_wm;
+                          snapshot.source_offset =
+                              source_offset.load(std::memory_order_relaxed);
+                          snapshot.payload = std::move(*payload);
+                          if (ckpt_store->Put(snapshot).ok()) {
+                            last_snapshot_wm = local_wm;
+                            replay_log.clear();
+                            consumed_since_snapshot = 0;
+                            // Windows emitted up to here are in no
+                            // restorable state anymore, so they can never
+                            // re-emit: forget their keys.
+                            dedup.ClearSeen();
+                            metrics->AddSnapshots(1);
+                          }
+                          // A failed Put leaves the previous snapshot
+                          // (and the longer replay log) in charge — the
+                          // run itself is unaffected.
+                        }
+                      }
+                    } else {
+                      // Recovery re-runs the catch-up watermark and
+                      // broadcasts it itself.
+                      status = attempt_recovery(status);
                     }
                   }
                   break;
@@ -375,7 +621,7 @@ Result<RunReport> Executor::Run() {
                   if (flushed_count == channels) {
                     status = GuardedBoltCall(
                         StatusCode::kInternal, "bolt finish",
-                        [&] { return bolt->Finish(&emitter); });
+                        [&] { return bolt->Finish(bolt_out); });
                     if (status.ok()) {
                       if (emitter.HasDownstream()) {
                         emitter.Broadcast(Element::MakeFlush(task));
@@ -406,6 +652,8 @@ Result<RunReport> Executor::Run() {
   threads.emplace_back([&]() {
     StageEmitter emitter(0, &topology_.stages[0].input_partitioner,
                          queues_of_stage(0), batch_max, nullptr, nullptr);
+    ReplayableSpout* const replay_source =
+        topology_.source.spout->replayable();
     // With interval <= 0 the generator is never consulted: only the final
     // end-of-stream watermark fires.
     WatermarkGenerator generator(
@@ -418,6 +666,10 @@ Result<RunReport> Executor::Run() {
     while (more && !failed.load(std::memory_order_relaxed)) {
       pulled.clear();
       more = topology_.source.spout->NextBatch(&pulled, batch_max);
+      if (replay_source != nullptr) {
+        source_offset.store(replay_source->ReplayOffset(),
+                            std::memory_order_relaxed);
+      }
       for (Tuple& tuple : pulled) {
         const Timestamp t = tuple.event_time();
         emitter.Emit(std::move(tuple));
@@ -467,6 +719,9 @@ Result<RunReport> Executor::Run() {
   if (topology_.fault_injector != nullptr) {
     report.faults.injected = topology_.fault_injector->total_fired();
   }
+  report.recoveries = report.faults.worker_restarts;
+  report.dead_letters_dropped =
+      dropped_dead_letters.load(std::memory_order_relaxed);
   return report;
 }
 

@@ -30,6 +30,17 @@
 /// are retried under the stage's RetryPolicy, data errors quarantine the
 /// offending tuple to the run's dead-letter channel, and only fatal or
 /// retry-exhausted errors cancel the run.
+///
+/// With Topology::checkpoint enabled, workers are additionally
+/// *recoverable*: checkpointable bolts snapshot their O(b) state at
+/// watermark boundaries, every consumed tuple since the last snapshot is
+/// kept in a bounded replay log, and a crashed worker (kWorkerCrash
+/// injection, an escaped exception, or a retry-exhausted failure) is
+/// rebuilt in place — fresh bolt, state restored from the latest valid
+/// snapshot, log replayed, window results deduplicated by
+/// (window, group) key so downstream sees each result at most once.
+/// Tuples that fell off the bounded log are charged to the recovered
+/// windows' error estimates (Checkpointable::NoteRecoveryLoss).
 
 namespace spear {
 
@@ -51,12 +62,20 @@ struct RunReport {
   /// Per-worker telemetry.
   MetricsRegistry metrics;
   /// Quarantined tuples, merged across workers in stage/task order.
+  /// Capped at Topology::max_dead_letters entries; the overflow is
+  /// counted in dead_letters_dropped.
   std::vector<DeadLetter> dead_letters;
   /// Aggregated fault counters (injection, retries, degradation).
   FaultStats faults;
   /// Errors recorded after the first one on a failed run (deduplicated);
   /// empty on success. The returned Status carries the first error.
+  /// Capped at Topology::max_dead_letters entries.
   std::vector<Status> suppressed_errors;
+  /// Worker crash/restore cycles completed (== faults.worker_restarts).
+  std::uint64_t recoveries = 0;
+  /// Quarantined tuples not retained in dead_letters because the cap was
+  /// reached (they still count in faults.quarantined).
+  std::uint64_t dead_letters_dropped = 0;
 };
 
 /// \brief Runs one topology to completion. Single-use.

@@ -67,6 +67,12 @@ class FaultInjectingBolt : public Bolt {
 
   Status Finish(Emitter* out) override { return inner_->Finish(out); }
 
+  /// Recovery snapshots/restores the wrapped bolt's state; injection
+  /// keeps applying at this wrapper's Execute/OnWatermark.
+  Checkpointable* checkpointable() override {
+    return inner_->checkpointable();
+  }
+
  private:
   std::unique_ptr<Bolt> inner_;
   FaultInjector* injector_;
@@ -124,6 +130,10 @@ class FaultInjectingSpout : public Spout {
     *out = std::move(tuple);
     return true;
   }
+
+  /// Replay offsets count the *inner* stream (injected duplicates and
+  /// poison copies are derived, not consumed positions).
+  ReplayableSpout* replayable() override { return inner_->replayable(); }
 
  private:
   std::shared_ptr<Spout> inner_;

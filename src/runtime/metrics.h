@@ -42,6 +42,10 @@ struct FaultStats {
   std::uint64_t quarantined = 0;
   /// Windows emitted with degraded accuracy (SpearBolt's AF-Stream trade).
   std::uint64_t degraded_windows = 0;
+  /// Workers restarted from a checkpoint after a crash (supervisor loop).
+  std::uint64_t worker_restarts = 0;
+  /// Checkpoint snapshots taken at watermark boundaries.
+  std::uint64_t snapshots = 0;
 
   void Accumulate(const FaultStats& other) {
     injected += other.injected;
@@ -49,6 +53,8 @@ struct FaultStats {
     recovered += other.recovered;
     quarantined += other.quarantined;
     degraded_windows += other.degraded_windows;
+    worker_restarts += other.worker_restarts;
+    snapshots += other.snapshots;
   }
 };
 
@@ -69,6 +75,8 @@ class WorkerMetrics {
   void AddRecovered(std::uint64_t n) { faults_.recovered += n; }
   void AddQuarantined(std::uint64_t n) { faults_.quarantined += n; }
   void AddDegradedWindows(std::uint64_t n) { faults_.degraded_windows += n; }
+  void AddWorkerRestarts(std::uint64_t n) { faults_.worker_restarts += n; }
+  void AddSnapshots(std::uint64_t n) { faults_.snapshots += n; }
 
   const std::string& stage() const { return stage_; }
   int task_id() const { return task_id_; }

@@ -19,6 +19,9 @@
 
 namespace spear {
 
+class Checkpointable;   // checkpoint/checkpointable.h
+class ReplayableSpout;  // checkpoint/checkpointable.h
+
 /// \brief Downstream emission handle given to bolts.
 class Emitter {
  public:
@@ -62,6 +65,12 @@ class Bolt {
     (void)out;
     return Status::OK();
   }
+
+  /// Snapshot/restore hooks, when this bolt participates in
+  /// checkpoint/recovery (null for stateless bolts — the default).
+  /// Decorator bolts forward to the bolt they wrap; the executor uses
+  /// this instead of RTTI.
+  virtual Checkpointable* checkpointable() { return nullptr; }
 };
 
 /// \brief A data source. Pull-based: the executor's source thread drains it.
@@ -85,6 +94,10 @@ class Spout {
     }
     return true;
   }
+
+  /// Replay-offset hooks, when this spout can report/seek its consumption
+  /// position (null otherwise — the default). Decorator spouts forward.
+  virtual ReplayableSpout* replayable() { return nullptr; }
 };
 
 /// \brief Per-worker bolt factory: stage parallelism P creates P bolts.

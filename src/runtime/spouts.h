@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "checkpoint/checkpointable.h"
 #include "runtime/operator.h"
 
 /// \file spouts.h
@@ -16,8 +17,9 @@
 
 namespace spear {
 
-/// \brief Replays a pre-materialized tuple vector in order.
-class VectorSpout : public Spout {
+/// \brief Replays a pre-materialized tuple vector in order. Replayable:
+/// the cursor doubles as the checkpoint offset.
+class VectorSpout : public Spout, public ReplayableSpout {
  public:
   explicit VectorSpout(std::vector<Tuple> tuples)
       : tuples_(std::move(tuples)) {}
@@ -42,6 +44,18 @@ class VectorSpout : public Spout {
   /// Executor run; rewind it (or build a fresh one) before reusing it in
   /// another topology.
   void Rewind() { cursor_ = 0; }
+
+  ReplayableSpout* replayable() override { return this; }
+
+  std::uint64_t ReplayOffset() const override { return cursor_; }
+
+  Status SeekTo(std::uint64_t offset) override {
+    if (offset > tuples_.size()) {
+      return Status::OutOfRange("vector spout: seek past end of stream");
+    }
+    cursor_ = static_cast<std::size_t>(offset);
+    return Status::OK();
+  }
 
  private:
   std::vector<Tuple> tuples_;

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpoint.h"
 #include "common/fault.h"
 #include "common/result.h"
 #include "common/retry_policy.h"
@@ -66,6 +67,14 @@ struct Topology {
   /// it when the run is cancelled, so failing workers don't spin out
   /// simulated waits.
   std::vector<SecondaryStorage*> storages;
+  /// Checkpoint/recovery policy (disabled by default). When enabled the
+  /// executor snapshots every checkpointable worker at watermark
+  /// boundaries and restarts crashed workers from their latest snapshot.
+  CheckpointConfig checkpoint;
+  /// Cap on RunReport::dead_letters and suppressed_errors entries kept in
+  /// memory; tuples quarantined past the cap are counted in
+  /// RunReport::dead_letters_dropped instead of retained.
+  std::size_t max_dead_letters = 1024;
 };
 
 /// \brief Fluent builder mirroring the structure of the paper's Fig. 2
@@ -126,6 +135,21 @@ class TopologyBuilder {
     return *this;
   }
 
+  /// Enables checkpoint/restore with the given policy (see
+  /// Topology::checkpoint). `config.enabled` is forced true.
+  TopologyBuilder& Checkpoint(CheckpointConfig config) {
+    config.enabled = true;
+    topology_.checkpoint = std::move(config);
+    return *this;
+  }
+
+  /// Caps retained dead-letter/suppressed-error entries (see
+  /// Topology::max_dead_letters).
+  TopologyBuilder& DeadLetterCap(std::size_t cap) {
+    topology_.max_dead_letters = cap;
+    return *this;
+  }
+
   /// Validates and returns the plan.
   Result<Topology> Build() {
     if (!topology_.source.spout) return Status::Invalid("topology has no source");
@@ -146,6 +170,16 @@ class TopologyBuilder {
     }
     if (topology_.batch_max_tuples == 0) {
       return Status::Invalid("batch_max_tuples must be > 0");
+    }
+    if (topology_.checkpoint.enabled) {
+      if (topology_.checkpoint.interval < 1) {
+        return Status::Invalid("checkpoint interval must be >= 1 ms");
+      }
+      if (topology_.source.spout &&
+          topology_.source.spout->replayable() == nullptr) {
+        return Status::Invalid(
+            "checkpointing requires a replayable source spout");
+      }
     }
     return topology_;
   }

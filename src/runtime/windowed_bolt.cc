@@ -11,17 +11,18 @@ std::vector<Tuple> WindowResultToTuples(const WindowResult& result) {
   const Value approx(static_cast<std::int64_t>(result.approximate ? 1 : 0));
   const Value err(result.estimated_error);
   const Value degraded(static_cast<std::int64_t>(result.degraded ? 1 : 0));
+  const Value recovered(static_cast<std::int64_t>(result.recovered ? 1 : 0));
   if (!result.is_grouped) {
     out.emplace_back(result.bounds.end,
                      std::vector<Value>{start, end, Value(result.scalar),
-                                        approx, err, degraded});
+                                        approx, err, degraded, recovered});
     return out;
   }
   out.reserve(result.groups.size());
   for (const auto& [key, value] : result.groups) {
     out.emplace_back(result.bounds.end,
                      std::vector<Value>{start, end, Value(key), Value(value),
-                                        approx, err, degraded});
+                                        approx, err, degraded, recovered});
   }
   return out;
 }

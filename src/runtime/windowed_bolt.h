@@ -17,9 +17,10 @@
 ///    accumulators updated at tuple arrival (non-holistic aggregates only).
 ///
 /// Both emit one result tuple per window (scalar) or per (window, group):
-///   scalar : [start, end, value, approx(0/1), est_err, degraded(0/1)]
-///            @ event_time=end
-///   grouped: [start, end, key, value, approx(0/1), est_err, degraded(0/1)]
+///   scalar : [start, end, value, approx(0/1), est_err, degraded(0/1),
+///             recovered(0/1)] @ event_time=end
+///   grouped: [start, end, key, value, approx(0/1), est_err, degraded(0/1),
+///             recovered(0/1)]
 /// and record per-window processing time and memory through the worker's
 /// metrics (the paper's measurement methodology).
 
@@ -32,17 +33,21 @@ std::vector<Tuple> WindowResultToTuples(const WindowResult& result);
 struct ResultTupleLayout {
   static constexpr std::size_t kStart = 0;
   static constexpr std::size_t kEnd = 1;
-  /// Scalar: value at 2, approx at 3, err at 4, degraded at 5.
+  /// Scalar: value at 2, approx at 3, err at 4, degraded at 5,
+  /// recovered at 6.
   static constexpr std::size_t kScalarValue = 2;
   static constexpr std::size_t kScalarApprox = 3;
   static constexpr std::size_t kScalarError = 4;
   static constexpr std::size_t kScalarDegraded = 5;
-  /// Grouped: key at 2, value at 3, approx at 4, err at 5, degraded at 6.
+  static constexpr std::size_t kScalarRecovered = 6;
+  /// Grouped: key at 2, value at 3, approx at 4, err at 5, degraded at 6,
+  /// recovered at 7.
   static constexpr std::size_t kGroupKey = 2;
   static constexpr std::size_t kGroupValue = 3;
   static constexpr std::size_t kGroupApprox = 4;
   static constexpr std::size_t kGroupError = 5;
   static constexpr std::size_t kGroupDegraded = 6;
+  static constexpr std::size_t kGroupRecovered = 7;
 };
 
 /// \brief Configuration shared by the exact windowed bolt variants.

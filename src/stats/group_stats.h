@@ -69,6 +69,27 @@ class GroupStatsTracker {
     overflowed_ = false;
   }
 
+  /// Checkpoint restore: installs a group's accumulated stats wholesale
+  /// (same capacity discipline as Update — a new group beyond capacity
+  /// marks overflow and is dropped).
+  bool RestoreGroup(const std::string& key, const RunningStats& stats) {
+    auto it = groups_.find(key);
+    if (it == groups_.end()) {
+      if (overflowed_ ||
+          (max_groups_ != 0 && groups_.size() >= max_groups_)) {
+        overflowed_ = true;
+        return false;
+      }
+      it = groups_.emplace(key, RunningStats()).first;
+    }
+    it->second = stats;
+    total_count_ += stats.count();
+    return true;
+  }
+
+  /// Checkpoint restore: the snapshotted tracker had overflowed.
+  void MarkOverflowed() { overflowed_ = true; }
+
   /// Estimated bytes consumed, for budget accounting: per group the paper
   /// charges r (key) + 4 (frequency) + f (variance accumulator) bytes.
   std::size_t EstimatedBytes() const {

@@ -4,8 +4,12 @@
 #include <cstdint>
 #include <vector>
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/status.h"
 
 /// \file reservoir_sampler.h
 /// Simple-random-sample maintenance inside a fixed budget, the `put/replace`
@@ -70,6 +74,36 @@ class ReservoirSampler {
     sample_.clear();
     seen_ = 0;
     if (algorithm_ == ReservoirAlgorithm::kAlgorithmL) InitW();
+  }
+
+  /// Replaces the reservoir with a checkpointed (sample, seen) pair. The
+  /// RNG is re-seeded rather than restored bit-exactly: the restored
+  /// reservoir is still a uniform sample of the `seen` elements it
+  /// summarizes and future Offers keep the correct inclusion probability
+  /// capacity/seen, but post-restore replacement *choices* are a fresh
+  /// random draw (statistically faithful recovery, not bit-identical).
+  Status Restore(std::vector<T> sample, std::uint64_t seen) {
+    if (sample.size() > capacity_) {
+      return Status::Invalid("reservoir restore: sample exceeds capacity");
+    }
+    if (seen < sample.size()) {
+      return Status::Invalid("reservoir restore: seen < sample size");
+    }
+    if (seen > sample.size() && sample.size() < capacity_) {
+      return Status::Invalid(
+          "reservoir restore: partial sample of a larger stream");
+    }
+    sample_ = std::move(sample);
+    sample_.reserve(capacity_);
+    seen_ = seen;
+    if (algorithm_ == ReservoirAlgorithm::kAlgorithmL) {
+      // Re-derive the skip state as if `seen_` elements had streamed by.
+      w_ = std::exp(std::log(rng_.NextDouble()) /
+                    static_cast<double>(capacity_));
+      next_replace_ = std::max<std::uint64_t>(seen_, capacity_);
+      AdvanceSkip();
+    }
+    return Status::OK();
   }
 
  private:

@@ -72,6 +72,36 @@ class RunningStats {
 
   void Reset() { *this = RunningStats(); }
 
+  /// \brief POD image of the accumulator, the unit of checkpointing: a
+  /// RunningStats is fully determined by these eight numbers.
+  struct State {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double m3 = 0.0;
+    double m4 = 0.0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+
+  State state() const {
+    return State{count_, mean_, m2_, m3_, m4_, sum_, min_, max_};
+  }
+
+  static RunningStats FromState(const State& s) {
+    RunningStats r;
+    r.count_ = s.count;
+    r.mean_ = s.mean;
+    r.m2_ = s.m2;
+    r.m3_ = s.m3;
+    r.m4_ = s.m4;
+    r.sum_ = s.sum;
+    r.min_ = s.min;
+    r.max_ = s.max;
+    return r;
+  }
+
   std::uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double mean() const { return count_ > 0 ? mean_ : 0.0; }

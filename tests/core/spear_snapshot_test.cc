@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spear_window_manager.h"
+#include "storage/secondary_storage.h"
+#include "tuple/field_extractor.h"
+
+namespace spear {
+namespace {
+
+Tuple NumTuple(std::int64_t t, double v) {
+  return Tuple(t, std::vector<Value>{Value(v)});
+}
+
+SpearOperatorConfig MeanConfig() {
+  SpearOperatorConfig config;
+  config.window = WindowSpec::TumblingTime(100);
+  config.aggregate = AggregateSpec::Mean();
+  config.budget = Budget::Tuples(32);
+  config.accuracy = AccuracySpec{0.20, 0.95};
+  return config;
+}
+
+// Snapshot mid-window, restore into a fresh manager, feed both the same
+// remaining tuples: the recovered manager must produce the same value
+// (incremental accumulators survive the round trip exactly) and flag the
+// window as recovered.
+TEST(SpearSnapshotTest, RoundTripContinuesExactlyForIncrementalMean) {
+  const SpearOperatorConfig config = MeanConfig();
+  SpearWindowManager primary(config, NumericField(0));
+  for (int i = 0; i < 50; ++i) {
+    primary.OnTuple(i, NumTuple(i, static_cast<double>((i * 37) % 101)));
+  }
+  Result<std::string> payload = primary.SnapshotState();
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+
+  SpearWindowManager restored(config, NumericField(0));
+  ASSERT_TRUE(restored.RestoreState(*payload).ok());
+
+  for (int i = 50; i < 100; ++i) {
+    const Tuple t = NumTuple(i, static_cast<double>((i * 37) % 101));
+    primary.OnTuple(i, t);
+    restored.OnTuple(i, t);
+  }
+  auto primary_results = primary.OnWatermark(200);
+  auto restored_results = restored.OnWatermark(200);
+  ASSERT_TRUE(primary_results.ok());
+  ASSERT_TRUE(restored_results.ok());
+  ASSERT_EQ(primary_results->size(), 1u);
+  ASSERT_EQ(restored_results->size(), 1u);
+
+  const WindowResult& clean = (*primary_results)[0];
+  const WindowResult& recovered = (*restored_results)[0];
+  EXPECT_FALSE(clean.recovered);
+  EXPECT_TRUE(recovered.recovered);
+  // No replay gap: full state, exact same mean.
+  EXPECT_DOUBLE_EQ(recovered.scalar, clean.scalar);
+  EXPECT_EQ(recovered.window_size, clean.window_size);
+  EXPECT_EQ(restored.decision_stats().windows_recovered, 1u);
+  EXPECT_EQ(primary.decision_stats().windows_recovered, 0u);
+}
+
+// Grouped state survives the round trip: the restored manager still knows
+// every group and answers each one. A recovered grouped window cannot be
+// exact (the raw buffer did not survive), so it is a flagged estimate from
+// the restored stratified reservoirs — group *membership* is preserved
+// bit for bit, group *values* are sample estimates in the data's range.
+TEST(SpearSnapshotTest, RoundTripPreservesGroupedState) {
+  SpearOperatorConfig config = MeanConfig();
+  config.known_num_groups = 4;
+  auto key = [](const Tuple& t) {
+    return std::to_string(t.event_time() % 4);
+  };
+
+  SpearWindowManager primary(config, NumericField(0), key);
+  for (int i = 0; i < 80; ++i) {
+    primary.OnTuple(i, NumTuple(i, static_cast<double>(i % 13)));
+  }
+  Result<std::string> payload = primary.SnapshotState();
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+
+  SpearWindowManager restored(config, NumericField(0), key);
+  ASSERT_TRUE(restored.RestoreState(*payload).ok());
+  for (int i = 80; i < 100; ++i) {
+    const Tuple t = NumTuple(i, static_cast<double>(i % 13));
+    primary.OnTuple(i, t);
+    restored.OnTuple(i, t);
+  }
+  auto primary_results = primary.OnWatermark(200);
+  auto restored_results = restored.OnWatermark(200);
+  ASSERT_TRUE(primary_results.ok());
+  ASSERT_TRUE(restored_results.ok()) << restored_results.status().ToString();
+  ASSERT_EQ(restored_results->size(), 1u);
+  const WindowResult& clean = (*primary_results)[0];
+  const WindowResult& recovered = (*restored_results)[0];
+  ASSERT_TRUE(recovered.is_grouped);
+  ASSERT_EQ(recovered.groups.size(), clean.groups.size());
+  for (std::size_t g = 0; g < clean.groups.size(); ++g) {
+    EXPECT_EQ(recovered.groups[g].first, clean.groups[g].first);
+    // Values 0..12: any estimate from restored per-group reservoirs lands
+    // in-range; a lost or zeroed sampler would not.
+    EXPECT_GE(recovered.groups[g].second, 0.0);
+    EXPECT_LE(recovered.groups[g].second, 12.0);
+  }
+  EXPECT_TRUE(recovered.recovered);
+  EXPECT_TRUE(recovered.approximate);
+  EXPECT_FALSE(clean.recovered);
+  EXPECT_EQ(restored.decision_stats().windows_recovered, 1u);
+}
+
+// The snapshot is O(b) in the budget, not O(|S_w|) in the window: feeding
+// 50x more tuples must not grow the payload materially.
+TEST(SpearSnapshotTest, SnapshotSizeIsBudgetBoundNotWindowBound) {
+  SpearOperatorConfig config = MeanConfig();
+  config.window = WindowSpec::TumblingTime(100000);
+  config.aggregate = AggregateSpec::Median();  // holistic: keeps a sample
+
+  SpearWindowManager small(config, NumericField(0));
+  for (int i = 0; i < 200; ++i) small.OnTuple(i, NumTuple(i, i));
+  SpearWindowManager large(config, NumericField(0));
+  for (int i = 0; i < 10000; ++i) large.OnTuple(i, NumTuple(i, i));
+
+  Result<std::string> small_payload = small.SnapshotState();
+  Result<std::string> large_payload = large.SnapshotState();
+  ASSERT_TRUE(small_payload.ok());
+  ASSERT_TRUE(large_payload.ok());
+  // Identical open-window structure and a full reservoir on both sides:
+  // the serialized states are the same size despite the 50x window.
+  EXPECT_EQ(large_payload->size(), small_payload->size());
+}
+
+// Replay-gap loss inflates ε̂_w AF-Stream style: the recovered window is
+// flagged and its error estimate charges lost/(count+lost).
+TEST(SpearSnapshotTest, NoteRecoveryLossInflatesErrorEstimate) {
+  const SpearOperatorConfig config = MeanConfig();
+  SpearWindowManager manager(config, NumericField(0));
+  for (int i = 0; i < 60; ++i) {
+    manager.OnTuple(i, NumTuple(i, static_cast<double>(i % 7)));
+  }
+  manager.NoteRecoveryLoss(40);
+  auto results = manager.OnWatermark(200);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 1u);
+  const WindowResult& result = (*results)[0];
+  EXPECT_TRUE(result.recovered);
+  EXPECT_TRUE(result.approximate);  // a lossy window can never be exact
+  EXPECT_EQ(result.window_size, 100u);  // 60 seen + 40 lost
+  // ε̂ includes the loss ratio 40/100; with ε = 0.20 the window cannot
+  // meet the spec, so it is emitted degraded.
+  EXPECT_GE(result.estimated_error, 0.40);
+  EXPECT_TRUE(result.degraded);
+  EXPECT_EQ(manager.decision_stats().windows_recovered, 1u);
+}
+
+// A loss reported while no window is open is charged to the next window
+// (the tuples belonged to the stream, not to nothing).
+TEST(SpearSnapshotTest, PendingLossChargesNextWindow) {
+  const SpearOperatorConfig config = MeanConfig();
+  SpearWindowManager manager(config, NumericField(0));
+  manager.NoteRecoveryLoss(10);
+  for (int i = 0; i < 90; ++i) {
+    manager.OnTuple(i, NumTuple(i, 1.0));
+  }
+  auto results = manager.OnWatermark(200);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  EXPECT_TRUE((*results)[0].recovered);
+  EXPECT_EQ((*results)[0].window_size, 100u);
+}
+
+// Small losses keep the accuracy guarantee: ε̂ + ρ <= ε still expedites,
+// with the inflation visible in the reported estimate.
+TEST(SpearSnapshotTest, SmallLossStillMeetsAccuracySpec) {
+  SpearOperatorConfig config = MeanConfig();
+  config.accuracy = AccuracySpec{0.50, 0.95};
+  SpearWindowManager manager(config, NumericField(0));
+  for (int i = 0; i < 99; ++i) {
+    manager.OnTuple(i, NumTuple(i, static_cast<double>(i % 5) + 10.0));
+  }
+  manager.NoteRecoveryLoss(1);  // ρ = 0.01
+  auto results = manager.OnWatermark(200);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+  const WindowResult& result = (*results)[0];
+  EXPECT_TRUE(result.recovered);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_GE(result.estimated_error, 0.01);
+  EXPECT_LE(result.estimated_error, 0.50);
+}
+
+TEST(SpearSnapshotTest, RestoreRejectsGarbageAndWrongMode) {
+  const SpearOperatorConfig config = MeanConfig();
+  SpearWindowManager manager(config, NumericField(0));
+  EXPECT_FALSE(manager.RestoreState("").ok());
+  EXPECT_FALSE(manager.RestoreState("not a snapshot payload").ok());
+
+  // A scalar manager must refuse a grouped manager's payload.
+  SpearOperatorConfig grouped_config = MeanConfig();
+  SpearWindowManager grouped(grouped_config, NumericField(0),
+                             [](const Tuple&) { return std::string("g"); });
+  grouped.OnTuple(0, NumTuple(0, 1.0));
+  Result<std::string> grouped_payload = grouped.SnapshotState();
+  ASSERT_TRUE(grouped_payload.ok());
+  EXPECT_FALSE(manager.RestoreState(*grouped_payload).ok());
+}
+
+// Restore re-adopts the spill manifest: pre-crash spilled runs are not
+// duplicated when replayed tuples spill again under the same key.
+TEST(SpearSnapshotTest, RestoreReadoptsSpillManifestWithoutDuplication) {
+  SecondaryStorage storage;
+  SpearOperatorConfig config = MeanConfig();
+  config.aggregate = AggregateSpec::Median();  // holistic: buffer matters
+  config.accuracy = AccuracySpec{0.0001, 0.95};  // wants the exact path
+  config.buffer_memory_capacity = 16;
+
+  SpearWindowManager primary(config, NumericField(0), nullptr, &storage,
+                             "snap-test");
+  for (int i = 0; i < 64; ++i) primary.OnTuple(i, NumTuple(i, i));
+  const std::size_t spilled_before = storage.TotalTuples();
+  ASSERT_GT(spilled_before, 0u);
+
+  Result<std::string> payload = primary.SnapshotState();
+  ASSERT_TRUE(payload.ok());
+  SpearWindowManager restored(config, NumericField(0), nullptr, &storage,
+                              "snap-test");
+  ASSERT_TRUE(restored.RestoreState(*payload).ok());
+  // Replay the same tuples: the ones that spill again must overwrite the
+  // adopted manifest run, not append to it.
+  for (int i = 0; i < 64; ++i) restored.OnTuple(i, NumTuple(i, i));
+  EXPECT_EQ(storage.TotalTuples(), spilled_before);
+
+  auto results = restored.OnWatermark(200);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 1u);
+  // The recovered window cannot prove the exact fallback is complete, so
+  // it is emitted as a flagged approximation.
+  EXPECT_TRUE((*results)[0].recovered);
+  EXPECT_TRUE((*results)[0].approximate);
+}
+
+}  // namespace
+}  // namespace spear

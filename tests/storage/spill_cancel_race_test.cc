@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "storage/secondary_storage.h"
+#include "storage/spilling_buffer.h"
+
+namespace spear {
+namespace {
+
+Tuple NumTuple(std::int64_t t, double v) {
+  return Tuple(t, std::vector<Value>{Value(v)});
+}
+
+// Deterministic baseline: with storage permanently down, every
+// past-budget append falls back to memory — nothing is lost and nothing
+// is half-stored.
+TEST(SpillCancelRaceTest, PermanentSpillFailureKeepsEverythingInMemory) {
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = FaultSite::kStorageStore;
+  rule.probability = 1.0;
+  plan.Add(rule);
+  FaultInjector injector(plan);
+
+  SecondaryStorage storage;
+  storage.InjectFaults(&injector);
+  SpillingBuffer buffer(/*memory_capacity=*/8, &storage, "down-key");
+
+  const int n = 100;
+  for (int i = 0; i < n; ++i) buffer.Append(NumTuple(i, i));
+
+  EXPECT_EQ(buffer.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(buffer.memory_size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(buffer.spilled_size(), 0u);
+  EXPECT_EQ(buffer.spill_failures(), static_cast<std::size_t>(n - 8));
+  EXPECT_EQ(storage.CountFor("down-key"), 0u);  // no partial stores
+}
+
+// The satellite scenario: spills fail intermittently while another thread
+// flips the run-cancellation latency switch underneath the worker. The
+// keep-in-memory fallback must account for every tuple exactly once —
+// memory + spilled == appended, the storage run matches the spilled
+// count, and Clear leaves nothing behind.
+TEST(SpillCancelRaceTest, IntermittentFailureUnderConcurrentCancel) {
+  FaultPlan plan;
+  plan.seed = 11;
+  FaultRule rule;
+  rule.site = FaultSite::kStorageStore;
+  rule.every_nth = 3;  // every third spill attempt fails
+  plan.Add(rule);
+  FaultInjector injector(plan);
+
+  // Nonzero simulated latency widens the window the cancel switch races
+  // against (the busy-wait checks the flag continuously).
+  SecondaryStorage storage(StorageLatencyModel{2'000, 50});
+  storage.InjectFaults(&injector);
+  SpillingBuffer buffer(/*memory_capacity=*/16, &storage, "race-key");
+
+  std::atomic<bool> done{false};
+  std::thread canceller([&storage, &done]() {
+    while (!done.load(std::memory_order_relaxed)) {
+      storage.CancelSimulatedLatency();
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+      storage.ResetSimulatedLatency();
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  const int n = 3000;
+  double expected_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    buffer.Append(NumTuple(i, i));
+    expected_sum += i;
+  }
+  done.store(true);
+  canceller.join();
+
+  // Exactly-once accounting across the fallback boundary.
+  EXPECT_EQ(buffer.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(buffer.memory_size() + buffer.spilled_size(),
+            static_cast<std::size_t>(n));
+  EXPECT_GT(buffer.spilled_size(), 0u);
+  EXPECT_GT(buffer.spill_failures(), 0u);
+  EXPECT_EQ(storage.CountFor("race-key"), buffer.spilled_size());
+
+  // Materializing returns each appended tuple exactly once (a duplicate
+  // or a loss shifts the checksum).
+  storage.ResetSimulatedLatency();
+  auto all = buffer.Materialize();
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  ASSERT_EQ(all->size(), static_cast<std::size_t>(n));
+  double sum = 0.0;
+  for (const Tuple& t : *all) sum += t.field(0).AsDouble();
+  EXPECT_DOUBLE_EQ(sum, expected_sum);
+
+  // No leak: clearing the buffer erases its storage run too.
+  buffer.Clear();
+  EXPECT_EQ(storage.CountFor("race-key"), 0u);
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+}  // namespace
+}  // namespace spear
