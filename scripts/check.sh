@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Full local check: configure, build, run every test, the crash-chaos
-# recovery sweep, an ASan pass over the fault-injection suites, then
-# every bench.
+# recovery sweep, the overload-control sweep, an ASan pass over the
+# fault-injection suites, then every bench.
 # Usage: scripts/check.sh [build-dir]
 #
 # SPEAR_CHECK_MATRIX=1 widens the sanitizer pass into the full matrix:
-# plain + ASan + TSan in sequence (the TSan pass covers the executor's
-# supervision/recovery machinery, where races would otherwise only lose
-# intermittently).
+# plain + ASan + TSan + UBSan in sequence (the TSan pass covers the
+# executor's supervision/recovery/overload machinery, where races would
+# otherwise only lose intermittently; the UBSan pass covers the lock-free
+# shed arithmetic).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -20,11 +21,16 @@ ctest --test-dir "$ROOT/$BUILD_DIR" -j"$(nproc)" --output-on-failure
 # Crash-chaos recovery suite across seeds (varies the crash points).
 "$ROOT/scripts/check_recovery.sh" "$BUILD_DIR"
 
+# Overload-control suite across seeds (varies the crash-while-shedding
+# points of the combined chaos test).
+"$ROOT/scripts/check_overload.sh" "$BUILD_DIR"
+
 # Chaos paths (exception unwinding, cancellation, quarantine) under ASan.
 "$ROOT/scripts/check_asan.sh" "$BUILD_DIR-asan"
 
 if [ "${SPEAR_CHECK_MATRIX:-0}" = "1" ]; then
   "$ROOT/scripts/check_tsan.sh" "$BUILD_DIR-tsan"
+  "$ROOT/scripts/check_ubsan.sh" "$BUILD_DIR-ubsan"
 fi
 
 for bench in "$ROOT/$BUILD_DIR"/bench/bench_*; do

@@ -15,7 +15,7 @@ cmake -S "$ROOT" -B "$ROOT/$BUILD_DIR" \
   -DSPEAR_BUILD_EXAMPLES=OFF
 cmake --build "$ROOT/$BUILD_DIR" -j"$(nproc)" \
   --target spear_common_tests spear_substrate_tests spear_runtime_tests \
-  spear_recovery_tests
+  spear_recovery_tests spear_overload_tests
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 "$ROOT/$BUILD_DIR/tests/spear_common_tests" --gtest_filter='Fault*:Retry*:Backoff*'
@@ -23,4 +23,5 @@ export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
 "$ROOT/$BUILD_DIR/tests/spear_runtime_tests" \
   --gtest_filter='Supervision*:Chaos*:Executor*'
 "$ROOT/$BUILD_DIR/tests/spear_recovery_tests"
-echo "ASan: fault-injection + supervision + recovery suites clean"
+"$ROOT/$BUILD_DIR/tests/spear_overload_tests"
+echo "ASan: fault-injection + supervision + recovery + overload suites clean"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the overload-control suite across a spread of seeds. Each seed
+# moves the combined overload+crash chaos test's injected kWorkerCrash
+# points (FaultPlan.every_nth depends on SPEAR_OVERLOAD_SEED), so the
+# sweep exercises crashes landing at different points of an actively
+# shedding run — shed accounting must survive every one of them.
+# Usage: scripts/check_overload.sh [build-dir] [num-seeds]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+NUM_SEEDS="${2:-10}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+SUITE="$ROOT/$BUILD_DIR/tests/spear_overload_tests"
+
+if [ ! -x "$SUITE" ]; then
+  echo "building spear_overload_tests in $BUILD_DIR..."
+  cmake --build "$ROOT/$BUILD_DIR" --target spear_overload_tests
+fi
+
+for ((seed = 1; seed <= NUM_SEEDS; ++seed)); do
+  echo "=== overload suite, seed $seed ==="
+  SPEAR_OVERLOAD_SEED="$seed" "$SUITE" \
+    --gtest_filter='Overload*' --gtest_brief=1
+done
+echo "overload: $NUM_SEEDS seeds clean"

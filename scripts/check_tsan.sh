@@ -13,7 +13,8 @@ cmake -S "$ROOT" -B "$ROOT/$BUILD_DIR" \
   -DSPEAR_BUILD_BENCHMARKS=OFF \
   -DSPEAR_BUILD_EXAMPLES=OFF
 cmake --build "$ROOT/$BUILD_DIR" -j"$(nproc)" \
-  --target spear_common_tests spear_runtime_tests spear_recovery_tests
+  --target spear_common_tests spear_runtime_tests spear_recovery_tests \
+  spear_overload_tests
 
 # halt_on_error makes the suite fail on the first race instead of
 # reporting and continuing with an exit code gtest would swallow.
@@ -21,4 +22,5 @@ export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 "$ROOT/$BUILD_DIR/tests/spear_common_tests"
 "$ROOT/$BUILD_DIR/tests/spear_runtime_tests"
 "$ROOT/$BUILD_DIR/tests/spear_recovery_tests"
-echo "TSan: common + runtime + recovery suites clean"
+"$ROOT/$BUILD_DIR/tests/spear_overload_tests"
+echo "TSan: common + runtime + recovery + overload suites clean"

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Builds the overload-control and runtime suites under
+# UndefinedBehaviorSanitizer and runs them. The shedding/watchdog paths
+# lean on lock-free arithmetic (CAS loops over doubles, clock deltas,
+# occupancy ratios) — exactly where signed overflow or bad float-to-int
+# conversions would hide in a plain build.
+# Usage: scripts/check_ubsan.sh [build-dir]   (default: build-ubsan)
+set -euo pipefail
+
+BUILD_DIR="${1:-build-ubsan}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake -S "$ROOT" -B "$ROOT/$BUILD_DIR" \
+  -DSPEAR_SANITIZE=undefined \
+  -DSPEAR_BUILD_BENCHMARKS=OFF \
+  -DSPEAR_BUILD_EXAMPLES=OFF
+cmake --build "$ROOT/$BUILD_DIR" -j"$(nproc)" \
+  --target spear_common_tests spear_overload_tests spear_runtime_tests
+
+# -fno-sanitize-recover=all already aborts on the first report; print
+# stacks so a failure is diagnosable from CI logs alone.
+export UBSAN_OPTIONS="print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+"$ROOT/$BUILD_DIR/tests/spear_common_tests"
+"$ROOT/$BUILD_DIR/tests/spear_overload_tests"
+"$ROOT/$BUILD_DIR/tests/spear_runtime_tests"
+echo "UBSan: common + overload + runtime suites clean"

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <iterator>
 #include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "common/time.h"
 
 /// \file blocking_queue.h
 /// Bounded multi-producer multi-consumer queue used between runtime workers.
@@ -38,9 +41,27 @@ class BlockingQueue {
   explicit BlockingQueue(std::size_t capacity) : capacity_(capacity) {}
 
   /// Blocks until space is available. Returns false iff the queue closed.
-  bool Push(T item) {
+  /// When `blocked_ns` is non-null, time spent waiting for room (the
+  /// back-pressure stall) is added to it; the unblocked fast path never
+  /// reads the clock.
+  bool Push(T item, std::int64_t* blocked_ns = nullptr) {
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [&] { return closed_ || count_ < capacity_; });
+    WaitForRoomLocked(lock, blocked_ns);
+    if (closed_) return false;
+    AppendLocked(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Control push: enqueues without waiting for capacity. Control elements
+  /// (watermarks, flush markers) are rare — bounded by the watermark
+  /// cadence, not the data rate — and must not sit behind a saturated data
+  /// queue, so they get reserved headroom: the queue may transiently exceed
+  /// `capacity()` by the in-flight control elements, and data producers
+  /// keep blocking until the overflow drains. Returns false iff closed.
+  bool PushControl(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
     if (closed_) return false;
     AppendLocked(std::move(item));
     lock.unlock();
@@ -57,13 +78,14 @@ class BlockingQueue {
   /// empty afterwards (its storage may have been handed to the queue, so
   /// reserve again before reusing it as a buffer). Returns false iff the
   /// queue closed before the whole batch was enqueued (any un-enqueued
-  /// remainder is dropped).
-  bool PushAll(std::vector<T>&& items) {
+  /// remainder is dropped). `blocked_ns` accumulates back-pressure stall
+  /// time as in Push().
+  bool PushAll(std::vector<T>&& items, std::int64_t* blocked_ns = nullptr) {
     if (items.empty()) return true;
     std::size_t next = 0;
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-      not_full_.wait(lock, [&] { return closed_ || count_ < capacity_; });
+      WaitForRoomLocked(lock, blocked_ns);
       if (closed_) {
         lock.unlock();
         items.clear();
@@ -170,6 +192,8 @@ class BlockingQueue {
     return closed_;
   }
 
+  /// Unconsumed elements. Can transiently exceed capacity() by in-flight
+  /// PushControl() elements.
   std::size_t size() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return count_;
@@ -181,6 +205,17 @@ class BlockingQueue {
   /// Bound on nodes grown element-wise by Push (keeps the drain latency of
   /// a singles-only producer similar to the historical deque).
   static constexpr std::size_t kAppendNodeCap = 64;
+
+  /// Waits until the queue has room or is closed, timing the wait into
+  /// `*blocked_ns` when requested. The predicate is checked before any
+  /// clock read, so an unblocked push costs nothing extra.
+  void WaitForRoomLocked(std::unique_lock<std::mutex>& lock,
+                         std::int64_t* blocked_ns) {
+    if (closed_ || count_ < capacity_) return;
+    const std::int64_t start = blocked_ns != nullptr ? NowNs() : 0;
+    not_full_.wait(lock, [&] { return closed_ || count_ < capacity_; });
+    if (blocked_ns != nullptr) *blocked_ns += NowNs() - start;
+  }
 
   void AppendLocked(T item) {
     if (nodes_.empty() || !back_open_ ||

@@ -25,6 +25,8 @@ const char* FaultSiteName(FaultSite site) {
       return "spout-late";
     case FaultSite::kWorkerCrash:
       return "worker-crash";
+    case FaultSite::kSpoutStall:
+      return "spout-stall";
   }
   return "?";
 }

@@ -35,8 +35,11 @@ enum class FaultSite : std::uint8_t {
   kSpoutLate,         ///< re-emit the tuple with a past event time
   kWorkerCrash,       ///< kill a worker before it processes the tuple
                       ///< (recoverable only with checkpointing enabled)
+  kSpoutStall,        ///< freeze the spout inside Next: watermarks stop
+                      ///< advancing until the stall is cancelled (or its
+                      ///< extra_latency_ns bound elapses)
 };
-inline constexpr std::size_t kNumFaultSites = 8;
+inline constexpr std::size_t kNumFaultSites = 9;
 
 const char* FaultSiteName(FaultSite site);
 

@@ -1,5 +1,7 @@
 #include "core/spear_bolt.h"
 
+#include "runtime/overload.h"
+
 namespace spear {
 
 SpearBolt::SpearBolt(SpearOperatorConfig config,
@@ -40,6 +42,12 @@ Status SpearBolt::Finish(Emitter* out) {
 
 Status SpearBolt::Prepare(const BoltContext& ctx) {
   metrics_ = ctx.metrics;
+  overload_ = ctx.overload;
+  // Per-task shed stream, decorrelated from the reservoir samplers so the
+  // drop decision never interacts with replacement choices.
+  shed_rng_ = Rng(config_.seed ^
+                  (0xC3A5C85C97CB3127ULL * static_cast<std::uint64_t>(
+                                               ctx.task_id + 1)));
   manager_ = std::make_unique<SpearWindowManager>(
       config_, value_extractor_, key_extractor_, storage_,
       "spear-bolt-" + std::to_string(ctx.task_id));
@@ -47,7 +55,35 @@ Status SpearBolt::Prepare(const BoltContext& ctx) {
   return Status::OK();
 }
 
+Status SpearBolt::OnDeliveryAnomaly(Emitter* out) {
+  (void)out;
+  if (manager_ != nullptr) manager_->NoteStreamTruncation();
+  return Status::OK();
+}
+
 Status SpearBolt::Execute(const Tuple& tuple, Emitter* out) {
+  // Accuracy-aware load shedding happens before any other admission work:
+  // a shed tuple is charged to its window's ε̂_w but costs neither
+  // validation nor ingestion, which is what relieves an overloaded stage.
+  if (overload_ != nullptr) {
+    const double p = overload_->shed_probability();
+    if (p > 0.0 && shed_rng_.NextDouble() < p) {
+      const std::int64_t coord = config_.window.type == WindowType::kCountBased
+                                     ? sequence_++
+                                     : tuple.event_time();
+      manager_->OnTupleShed(coord);
+      if (metrics_ != nullptr) metrics_->AddTuplesShed(1);
+      if (config_.window.type == WindowType::kCountBased) {
+        Status emitted = ProcessWatermark(sequence_, out);
+        if (!emitted.ok() && emitted.IsUnavailable()) {
+          return Status::Internal("window emission failed after retries: " +
+                                  emitted.message());
+        }
+        return emitted;
+      }
+      return Status::OK();
+    }
+  }
   // Admission check before any state mutation: a rejected tuple is a data
   // error the supervised executor quarantines; nothing was ingested, so
   // window state stays consistent.
@@ -84,6 +120,9 @@ Status SpearBolt::ProcessWatermark(std::int64_t watermark, Emitter* out) {
   if (!results.ok()) return results.status();
 
   for (WindowResult& result : *results) {
+    if (overload_ != nullptr) {
+      overload_->ObserveWindowLatency(result.processing_ns);
+    }
     if (metrics_ != nullptr) {
       metrics_->RecordWindowNs(result.processing_ns);
       // Memory used for producing the result: the budget state when

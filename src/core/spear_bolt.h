@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "checkpoint/checkpointable.h"
+#include "common/rng.h"
 #include "core/spear_config.h"
 #include "core/spear_window_manager.h"
 #include "runtime/operator.h"
@@ -36,6 +37,7 @@ class SpearBolt : public Bolt, public Checkpointable {
   Status Execute(const Tuple& tuple, Emitter* out) override;
   Status OnWatermark(Timestamp watermark, Emitter* out) override;
   Status Finish(Emitter* out) override;
+  Status OnDeliveryAnomaly(Emitter* out) override;
 
   /// Expedite/fallback counters (valid after the run).
   const DecisionStats& decision_stats() const {
@@ -63,6 +65,8 @@ class SpearBolt : public Bolt, public Checkpointable {
   DecisionStatsCollector* decision_sink_;
   std::unique_ptr<SpearWindowManager> manager_;
   WorkerMetrics* metrics_ = nullptr;
+  OverloadDetector* overload_ = nullptr;
+  Rng shed_rng_;
   std::int64_t sequence_ = 0;
 };
 

@@ -65,6 +65,14 @@ struct SpearOperatorConfig {
   /// unlimited, no spill).
   std::size_t buffer_memory_capacity = 0;
 
+  /// Deadline budget for one window's exact fallback (0 = unbounded).
+  /// An exact path that exceeds it is aborted cooperatively — unspill and
+  /// materialization check the clock — and the window is emitted from its
+  /// budget state with `degraded=true`, so one pathological window cannot
+  /// stall the DAG. Corrupted-budget windows are exempt: with no usable
+  /// approximation, exact is the only correct answer.
+  DurationMs exact_deadline_ms = 0;
+
   /// Seed for the reservoir samplers (deterministic experiments).
   std::uint64_t seed = 0x5EA4;
 
@@ -86,6 +94,9 @@ struct SpearOperatorConfig {
     if (aggregate.kind == AggregateKind::kPercentile &&
         !(aggregate.phi >= 0.0 && aggregate.phi <= 1.0)) {
       return Status::Invalid("percentile phi must be in [0, 1]");
+    }
+    if (exact_deadline_ms < 0) {
+      return Status::Invalid("exact deadline must be >= 0 (0 = unbounded)");
     }
     return Status::OK();
   }
@@ -110,6 +121,13 @@ struct DecisionStats {
   /// expedited path, full windows on the exact path).
   std::uint64_t tuples_processed = 0;
   std::uint64_t late_tuples = 0;
+  /// Tuples dropped at admission by accuracy-aware load shedding (their
+  /// loss is folded into the affected windows' ε̂_w).
+  std::uint64_t tuples_shed = 0;
+  /// Emitted windows whose ε̂_w includes shed-loss inflation.
+  std::uint64_t windows_shed = 0;
+  /// Exact fallbacks aborted at the deadline (emitted degraded instead).
+  std::uint64_t deadline_aborts = 0;
 
   double ExpediteRate() const {
     return windows_total == 0
@@ -128,6 +146,9 @@ struct DecisionStats {
     tuples_seen += other.tuples_seen;
     tuples_processed += other.tuples_processed;
     late_tuples += other.late_tuples;
+    tuples_shed += other.tuples_shed;
+    windows_shed += other.windows_shed;
+    deadline_aborts += other.deadline_aborts;
   }
 };
 

@@ -194,6 +194,28 @@ SpearTopologyBuilder& SpearTopologyBuilder::DeadLetterCap(std::size_t cap) {
   return *this;
 }
 
+SpearTopologyBuilder& SpearTopologyBuilder::LatencySlo(DurationMs slo_ms) {
+  overload_.latency_slo = slo_ms;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::Shed(ShedPolicy policy) {
+  overload_.shed = policy;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::ExactDeadline(
+    DurationMs deadline_ms) {
+  config_.exact_deadline_ms = deadline_ms;
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::WatermarkWatchdog(
+    DurationMs idle_ms) {
+  overload_.watchdog_idle = idle_ms;
+  return *this;
+}
+
 SpearTopologyBuilder& SpearTopologyBuilder::Engine(ExecutionEngine engine) {
   engine_ = engine;
   return *this;
@@ -252,8 +274,17 @@ Result<Topology> SpearTopologyBuilder::Build() const {
   if (fault_injector_ != nullptr &&
       (fault_injector_->armed(FaultSite::kSpoutMalformed) ||
        fault_injector_->armed(FaultSite::kSpoutDuplicate) ||
-       fault_injector_->armed(FaultSite::kSpoutLate))) {
-    source = std::make_shared<FaultInjectingSpout>(spout_, fault_injector_);
+       fault_injector_->armed(FaultSite::kSpoutLate) ||
+       fault_injector_->armed(FaultSite::kSpoutStall))) {
+    auto wrapper =
+        std::make_shared<FaultInjectingSpout>(spout_, fault_injector_);
+    if (fault_injector_->armed(FaultSite::kSpoutStall)) {
+      // A stalled spout blocks the executor's source thread outside its
+      // control; the cancel hook is how the watchdog (or a failing run)
+      // unsticks it.
+      builder.AddCancelHook([wrapper] { wrapper->CancelStall(); });
+    }
+    source = wrapper;
   }
   builder.Source(std::move(source), watermark_interval_, max_lateness_);
   builder.QueueCapacity(queue_capacity_);
@@ -261,6 +292,13 @@ Result<Topology> SpearTopologyBuilder::Build() const {
   builder.RegisterStorage(storage_);
   if (checkpoint_.enabled) builder.Checkpoint(checkpoint_);
   builder.DeadLetterCap(max_dead_letters_);
+  if (overload_.ShedEnabled()) {
+    builder.LatencySlo(overload_.latency_slo);
+    builder.Shed(overload_.shed);
+  }
+  if (overload_.WatchdogEnabled()) {
+    builder.WatermarkWatchdog(overload_.watchdog_idle);
+  }
 
   if (has_time_stage_) {
     const std::size_t field = time_field_;

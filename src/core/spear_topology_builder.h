@@ -127,6 +127,26 @@ class SpearTopologyBuilder {
   /// Topology::max_dead_letters; default 1024).
   SpearTopologyBuilder& DeadLetterCap(std::size_t cap);
 
+  // ---- overload control ---------------------------------------------------
+  /// Arms accuracy-aware load shedding against a per-window latency SLO
+  /// (ms): every stage gets an OverloadDetector and the SPEAr bolts shed
+  /// admissions while tripped, folding the shed ratio into ε̂_w exactly
+  /// like recovery loss (windows past ε emit degraded).
+  SpearTopologyBuilder& LatencySlo(DurationMs slo_ms);
+
+  /// Replaces the shed policy (only effective with LatencySlo).
+  SpearTopologyBuilder& Shed(ShedPolicy policy);
+
+  /// Deadline budget (ms) for one window's exact fallback: past it the
+  /// fallback is aborted cooperatively and the window is emitted from its
+  /// budget state with degraded=true (0 = unbounded, the default).
+  SpearTopologyBuilder& ExactDeadline(DurationMs deadline_ms);
+
+  /// Arms the watermark watchdog: a source idle for `idle_ms` with empty
+  /// stage-0 queues is declared stalled and the stream is closed
+  /// abnormally (open windows emit degraded instead of hanging the DAG).
+  SpearTopologyBuilder& WatermarkWatchdog(DurationMs idle_ms);
+
   // ---- execution configuration ------------------------------------------
   SpearTopologyBuilder& Engine(ExecutionEngine engine);
   SpearTopologyBuilder& Parallelism(int workers);
@@ -163,6 +183,7 @@ class SpearTopologyBuilder {
   FaultInjector* fault_injector_ = nullptr;
   CheckpointConfig checkpoint_;
   std::size_t max_dead_letters_ = 1024;
+  OverloadConfig overload_;
 };
 
 }  // namespace spear

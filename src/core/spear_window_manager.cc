@@ -14,7 +14,9 @@ namespace spear {
 namespace {
 
 /// Version byte of the manager's checkpoint payload.
-constexpr std::uint8_t kManagerPayloadVersion = 1;
+/// v2: per-window shed/truncated flags, reservoir skipped counts, tracker
+/// shed counts, shed/deadline decision counters (overload control).
+constexpr std::uint8_t kManagerPayloadVersion = 2;
 
 void AppendRunningStats(std::string* out, const RunningStats& stats) {
   const RunningStats::State s = stats.state();
@@ -45,14 +47,16 @@ void AppendReservoir(std::string* out,
                      const ReservoirSampler<double>& sampler) {
   wire::AppendU64(out, sampler.capacity());
   wire::AppendU64(out, sampler.seen());
+  wire::AppendU64(out, sampler.skipped());
   wire::AppendU64(out, sampler.sample().size());
   for (const double v : sampler.sample()) wire::AppendF64(out, v);
 }
 
-/// The replay-gap error inflation (AF-Stream-style bounded divergence):
+/// The delivery-loss error inflation (AF-Stream-style bounded divergence):
 /// `lost` of the window's `count + lost` tuples never reached the budget
-/// state, so any estimate can be off by at most that mass fraction (for
-/// the mean-like aggregates SPEAr bounds in relative error).
+/// state — replay-gap loss and admission shedding alike — so any estimate
+/// can be off by at most that mass fraction (for the mean-like aggregates
+/// SPEAr bounds in relative error).
 double LossInflation(std::uint64_t count, std::uint64_t lost) {
   if (lost == 0) return 0.0;
   return static_cast<double>(lost) / static_cast<double>(count + lost);
@@ -213,6 +217,54 @@ void SpearWindowManager::NoteRecoveryLoss(std::uint64_t lost_tuples) {
   }
 }
 
+void SpearWindowManager::OnTupleShed(std::int64_t coord) {
+  if (coord < last_watermark_) {
+    // A late tuple that was shed: same anomaly accounting as OnTuple's
+    // late path — the tuple would not have joined any active window's
+    // budget state anyway.
+    ++decision_stats_.late_tuples;
+    for (auto& [start, state] : window_states_) {
+      if (coord >= start && coord < start + config_.window.range) {
+        state.anomalous = true;
+      }
+    }
+    return;
+  }
+  ++decision_stats_.tuples_shed;
+  if (!saw_any_tuple_) {
+    next_window_start_ = FirstWindowStartFor(config_.window, coord);
+    saw_any_tuple_ = true;
+  } else {
+    next_window_start_ = std::min(
+        next_window_start_, FirstWindowStartFor(config_.window, coord));
+  }
+
+  // Account the drop against every window the tuple would have joined.
+  // The budget state stays a uniform sample of the *admitted* subset; the
+  // samplers record the skipped mass so inclusion probabilities (and the
+  // count/sum rescaling) stay honest, and `shed` feeds ε̂_w inflation.
+  const auto charge = [&](WindowState* state) {
+    ++state->shed;
+    state->anomalous = true;  // incremental results can no longer be exact
+    if (state->sample) state->sample->NoteSkipped(1);
+    if (state->groups) state->groups->NoteShed(1);
+  };
+  if (config_.window.IsTumbling()) {
+    charge(&StateFor(LastWindowStartFor(config_.window, coord)));
+  } else {
+    for (const WindowBounds& w : AssignWindows(config_.window, coord)) {
+      charge(&StateFor(w.start));
+    }
+  }
+}
+
+void SpearWindowManager::NoteStreamTruncation() {
+  for (auto& [start, state] : window_states_) {
+    state.anomalous = true;
+    state.truncated = true;
+  }
+}
+
 void SpearWindowManager::OnTuple(std::int64_t coord, Tuple tuple) {
   if (coord < last_watermark_) {
     ++decision_stats_.late_tuples;
@@ -315,17 +367,23 @@ Status SpearWindowManager::UnspillAll() {
 
 Result<ScalarEstimate> SpearWindowManager::EstimateScalarForState(
     const WindowState& state) {
+  // Window size for estimation is the *population* the sample stands for:
+  // admitted tuples plus tuples shed at admission. Count/sum estimates
+  // then stay centered under uniform shedding (count+shed is exact; sum
+  // scales the sample mean to the full population), and any non-uniform
+  // shedding bias is covered by the ε̂_w shed inflation in DecideWindow.
+  const std::uint64_t population = state.count + state.shed;
   if (config_.custom_estimator) {
     return config_.custom_estimator(state.sample->sample(), state.stats,
-                                    state.count, config_.accuracy);
+                                    population, config_.accuracy);
   }
   if (mode_ == SpearMode::kScalarQuantile) {
     return EstimateScalarQuantile(config_.aggregate.phi,
-                                  state.sample->sample(), state.count,
+                                  state.sample->sample(), population,
                                   config_.accuracy, config_.quantile_bound);
   }
   return EstimateScalar(config_.aggregate, state.sample->sample(),
-                        state.stats, state.count, config_.accuracy);
+                        state.stats, population, config_.accuracy);
 }
 
 Status SpearWindowManager::PopulateGroupedResultFromScan(
@@ -425,11 +483,22 @@ Status SpearWindowManager::PopulateGroupedResultFromReservoirs(
 }
 
 Result<CompleteWindow> SpearWindowManager::MaterializeWindow(
-    const WindowBounds& bounds) {
+    const WindowBounds& bounds, std::int64_t deadline_ns) {
   CompleteWindow window;
   window.bounds = bounds;
+  // Clock reads are amortized over batches of copies so the deadline
+  // check stays off the per-tuple critical path.
+  constexpr std::size_t kDeadlineCheckStride = 256;
+  std::size_t since_check = 0;
   for (const Entry& e : buffer_) {
-    if (bounds.Contains(e.coord)) window.tuples.push_back(e.tuple);
+    if (!bounds.Contains(e.coord)) continue;
+    if (deadline_ns != 0 && ++since_check == kDeadlineCheckStride) {
+      since_check = 0;
+      if (NowNs() > deadline_ns) {
+        return Status::Cancelled("exact fallback exceeded its deadline");
+      }
+    }
+    window.tuples.push_back(e.tuple);
   }
   return window;
 }
@@ -458,10 +527,11 @@ void SpearWindowManager::CorruptBudgetForTesting() {
 
 Result<WindowResult> SpearWindowManager::MakeDegradedResult(
     const WindowBounds& bounds, WindowState* state) {
-  const double inflate = LossInflation(state->count, state->lost);
+  const double inflate =
+      LossInflation(state->count, state->lost + state->shed);
   WindowResult result;
   result.bounds = bounds;
-  result.window_size = state->count + state->lost;
+  result.window_size = state->count + state->lost + state->shed;
   result.approximate = true;
   result.degraded = true;
   result.recovered = state->recovered;
@@ -534,10 +604,11 @@ Result<WindowResult> SpearWindowManager::DecideWindow(
   *needs_scan = false;
   *needs_exact = false;
 
-  // Replay-gap inflation: an estimate is only accepted when ε̂_w plus the
-  // recovery loss ratio still meets the spec — the AF-Stream contract
-  // folded into the paper's expedite test.
-  const double inflate = LossInflation(state->count, state->lost);
+  // Delivery-loss inflation: an estimate is only accepted when ε̂_w plus
+  // the recovery-loss + shed ratio still meets the spec — the AF-Stream
+  // contract folded into the paper's expedite test.
+  const double inflate =
+      LossInflation(state->count, state->lost + state->shed);
   const auto meets_spec = [&](double epsilon_hat) {
     return inflate == 0.0 ||
            epsilon_hat + inflate <= config_.accuracy.epsilon;
@@ -545,7 +616,7 @@ Result<WindowResult> SpearWindowManager::DecideWindow(
 
   WindowResult result;
   result.bounds = bounds;
-  result.window_size = state->count + state->lost;
+  result.window_size = state->count + state->lost + state->shed;
   result.recovered = state->recovered;
 
   // Corrupted budget state means no estimate can be trusted: fall back to
@@ -702,7 +773,21 @@ Result<std::vector<WindowResult>> SpearWindowManager::OnWatermark(
             unspill_failed = true;
           }
         }
-        if (unspill_failed) {
+        // A window that can answer from its budget state even when the
+        // decision demands exact. Holistic grouped-unknown windows cannot
+        // (their degraded result needs the raw window).
+        const bool can_degrade =
+            !BudgetStateCorrupted(state_it->second) &&
+            !(mode_ == SpearMode::kGroupedUnknown &&
+              config_.aggregate.IsHolistic());
+        if (state_it->second.truncated && can_degrade) {
+          // The stream was closed abnormally under this window (watchdog):
+          // an unknown suffix is missing, so no accuracy claim can be
+          // verified — emit the budget estimate, flagged degraded.
+          SPEAR_ASSIGN_OR_RETURN(
+              result, MakeDegradedResult(bounds, &state_it->second));
+          degraded = true;
+        } else if (unspill_failed) {
           needs_exact = true;
         } else if (mode_ == SpearMode::kGroupedUnknown && recovered_window &&
                    !BudgetStateCorrupted(state_it->second)) {
@@ -718,23 +803,53 @@ Result<std::vector<WindowResult>> SpearWindowManager::OnWatermark(
                                    &needs_exact));
         }
         if (needs_exact && !degraded) {
-          if (recovered_window && !BudgetStateCorrupted(state_it->second)) {
-            // Same reasoning as above: an "exact" result from the partial
-            // post-restore buffer would be silently wrong. Degrade to the
-            // budget estimate with the loss-inflated ε̂_w instead.
+          if ((recovered_window || state_it->second.shed > 0) &&
+              !BudgetStateCorrupted(state_it->second)) {
+            // An "exact" result would be silently wrong: a recovered
+            // window's post-restore buffer is partial, and a shed window's
+            // buffer is missing every tuple dropped at admission. Degrade
+            // to the budget estimate with the loss-inflated ε̂_w instead.
             SPEAR_ASSIGN_OR_RETURN(
                 result, MakeDegradedResult(bounds, &state_it->second));
             degraded = true;
           } else {
             // Alg. 2 line 5: g(S.get(tau_w)) — the whole window, possibly
-            // fetched back from S, processed exactly.
+            // fetched back from S, processed exactly. With a deadline
+            // configured (and a degradable window), the fetch and the
+            // materialization scan check the clock cooperatively — the
+            // same cancellation discipline the spill path's simulated
+            // latency uses — and a blown deadline emits the approximate
+            // result flagged degraded instead of stalling the DAG.
+            const std::int64_t deadline_ns =
+                config_.exact_deadline_ms > 0 && can_degrade
+                    ? NowNs() + config_.exact_deadline_ms * 1'000'000
+                    : 0;
             const Status fetched =
                 unspill_failed ? Status::Unavailable("spill run unavailable")
                                : UnspillAll();
             if (fetched.ok()) {
-              SPEAR_ASSIGN_OR_RETURN(CompleteWindow window,
-                                     MaterializeWindow(bounds));
-              SPEAR_ASSIGN_OR_RETURN(result, exact_operator_.Process(window));
+              if (deadline_ns != 0 && NowNs() > deadline_ns) {
+                // The unspill alone blew the budget.
+                SPEAR_ASSIGN_OR_RETURN(
+                    result, MakeDegradedResult(bounds, &state_it->second));
+                degraded = true;
+                ++decision_stats_.deadline_aborts;
+                if (metrics_ != nullptr) metrics_->AddDeadlineAborts(1);
+              } else {
+                Result<CompleteWindow> window =
+                    MaterializeWindow(bounds, deadline_ns);
+                if (!window.ok() && window.status().IsCancelled()) {
+                  SPEAR_ASSIGN_OR_RETURN(
+                      result, MakeDegradedResult(bounds, &state_it->second));
+                  degraded = true;
+                  ++decision_stats_.deadline_aborts;
+                  if (metrics_ != nullptr) metrics_->AddDeadlineAborts(1);
+                } else {
+                  SPEAR_RETURN_NOT_OK(window.status());
+                  SPEAR_ASSIGN_OR_RETURN(
+                      result, exact_operator_.Process(*window));
+                }
+              }
             } else if (fetched.IsUnavailable() &&
                        !BudgetStateCorrupted(state_it->second)) {
               // The exact fallback cannot run (S stayed unavailable after
@@ -752,6 +867,10 @@ Result<std::vector<WindowResult>> SpearWindowManager::OnWatermark(
       if (recovered_window) {
         result.recovered = true;  // survives the exact-path overwrite
         ++decision_stats_.windows_recovered;
+      }
+      if (state_it->second.shed > 0) {
+        ++decision_stats_.windows_shed;
+        if (metrics_ != nullptr) metrics_->AddWindowsShedLoss(1);
       }
       if (degraded) {
         ++decision_stats_.windows_degraded;
@@ -844,6 +963,9 @@ Result<std::string> SpearWindowManager::SnapshotState() const {
   wire::AppendU64(&out, decision_stats_.tuples_seen);
   wire::AppendU64(&out, decision_stats_.tuples_processed);
   wire::AppendU64(&out, decision_stats_.late_tuples);
+  wire::AppendU64(&out, decision_stats_.tuples_shed);
+  wire::AppendU64(&out, decision_stats_.windows_shed);
+  wire::AppendU64(&out, decision_stats_.deadline_aborts);
 
   wire::AppendU64(&out, window_states_.size());
   for (const auto& [start, state] : window_states_) {
@@ -851,8 +973,10 @@ Result<std::string> SpearWindowManager::SnapshotState() const {
     wire::AppendU64(&out, state.budget);
     wire::AppendU64(&out, state.count);
     wire::AppendU64(&out, state.lost);
+    wire::AppendU64(&out, state.shed);
     wire::AppendU8(&out, state.anomalous ? 1 : 0);
     wire::AppendU8(&out, state.recovered ? 1 : 0);
+    wire::AppendU8(&out, state.truncated ? 1 : 0);
     AppendRunningStats(&out, state.stats);
     wire::AppendU8(&out, state.sample ? 1 : 0);
     if (state.sample) AppendReservoir(&out, *state.sample);
@@ -860,6 +984,7 @@ Result<std::string> SpearWindowManager::SnapshotState() const {
     if (state.groups) {
       wire::AppendU64(&out, state.groups->max_groups());
       wire::AppendU8(&out, state.groups->overflowed() ? 1 : 0);
+      wire::AppendU64(&out, state.groups->shed());
       wire::AppendU64(&out, state.groups->num_groups());
       for (const auto& [key, stats] : state.groups->groups()) {
         wire::AppendString(&out, key);
@@ -929,6 +1054,9 @@ Status SpearWindowManager::RestoreState(const std::string& payload) {
   SPEAR_ASSIGN_OR_RETURN(decision_stats_.tuples_seen, reader.ReadU64());
   SPEAR_ASSIGN_OR_RETURN(decision_stats_.tuples_processed, reader.ReadU64());
   SPEAR_ASSIGN_OR_RETURN(decision_stats_.late_tuples, reader.ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(decision_stats_.tuples_shed, reader.ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(decision_stats_.windows_shed, reader.ReadU64());
+  SPEAR_ASSIGN_OR_RETURN(decision_stats_.deadline_aborts, reader.ReadU64());
 
   SPEAR_ASSIGN_OR_RETURN(const std::uint64_t num_windows, reader.ReadU64());
   for (std::uint64_t w = 0; w < num_windows; ++w) {
@@ -937,6 +1065,7 @@ Status SpearWindowManager::RestoreState(const std::string& payload) {
     SPEAR_ASSIGN_OR_RETURN(state.budget, reader.ReadU64());
     SPEAR_ASSIGN_OR_RETURN(state.count, reader.ReadU64());
     SPEAR_ASSIGN_OR_RETURN(state.lost, reader.ReadU64());
+    SPEAR_ASSIGN_OR_RETURN(state.shed, reader.ReadU64());
     SPEAR_ASSIGN_OR_RETURN(const std::uint8_t anomalous, reader.ReadU8());
     state.anomalous = anomalous != 0;
     SPEAR_ASSIGN_OR_RETURN(const std::uint8_t recovered, reader.ReadU8());
@@ -944,12 +1073,15 @@ Status SpearWindowManager::RestoreState(const std::string& payload) {
     // Every restored window is a recovered window, whatever it was when
     // snapshotted: its raw buffer did not survive.
     state.recovered = true;
+    SPEAR_ASSIGN_OR_RETURN(const std::uint8_t truncated, reader.ReadU8());
+    state.truncated = truncated != 0;
     SPEAR_ASSIGN_OR_RETURN(state.stats, ReadRunningStats(&reader));
 
     SPEAR_ASSIGN_OR_RETURN(const std::uint8_t has_sample, reader.ReadU8());
     if (has_sample != 0) {
       SPEAR_ASSIGN_OR_RETURN(const std::uint64_t capacity, reader.ReadU64());
       SPEAR_ASSIGN_OR_RETURN(const std::uint64_t seen, reader.ReadU64());
+      SPEAR_ASSIGN_OR_RETURN(const std::uint64_t skipped, reader.ReadU64());
       SPEAR_ASSIGN_OR_RETURN(const std::uint64_t n, reader.ReadU64());
       std::vector<double> values;
       values.reserve(n);
@@ -962,13 +1094,16 @@ Status SpearWindowManager::RestoreState(const std::string& payload) {
       }
       state.sample = std::make_unique<ReservoirSampler<double>>(
           capacity, config_.seed + sampler_seq_++);
-      SPEAR_RETURN_NOT_OK(state.sample->Restore(std::move(values), seen));
+      SPEAR_RETURN_NOT_OK(
+          state.sample->Restore(std::move(values), seen, skipped));
     }
 
     SPEAR_ASSIGN_OR_RETURN(const std::uint8_t has_groups, reader.ReadU8());
     if (has_groups != 0) {
       SPEAR_ASSIGN_OR_RETURN(const std::uint64_t max_groups, reader.ReadU64());
       SPEAR_ASSIGN_OR_RETURN(const std::uint8_t overflowed, reader.ReadU8());
+      SPEAR_ASSIGN_OR_RETURN(const std::uint64_t tracker_shed,
+                             reader.ReadU64());
       SPEAR_ASSIGN_OR_RETURN(const std::uint64_t n, reader.ReadU64());
       state.groups = std::make_unique<GroupStatsTracker>(max_groups);
       for (std::uint64_t k = 0; k < n; ++k) {
@@ -978,6 +1113,7 @@ Status SpearWindowManager::RestoreState(const std::string& payload) {
         state.groups->RestoreGroup(key, stats);
       }
       if (overflowed != 0) state.groups->MarkOverflowed();
+      if (tracker_shed > 0) state.groups->NoteShed(tracker_shed);
     }
 
     SPEAR_ASSIGN_OR_RETURN(const std::uint64_t num_samplers, reader.ReadU64());
@@ -985,6 +1121,7 @@ Status SpearWindowManager::RestoreState(const std::string& payload) {
       SPEAR_ASSIGN_OR_RETURN(const std::string key, reader.ReadString());
       SPEAR_ASSIGN_OR_RETURN(const std::uint64_t capacity, reader.ReadU64());
       SPEAR_ASSIGN_OR_RETURN(const std::uint64_t seen, reader.ReadU64());
+      SPEAR_ASSIGN_OR_RETURN(const std::uint64_t skipped, reader.ReadU64());
       SPEAR_ASSIGN_OR_RETURN(const std::uint64_t n, reader.ReadU64());
       std::vector<double> values;
       values.reserve(n);
@@ -1001,7 +1138,8 @@ Status SpearWindowManager::RestoreState(const std::string& payload) {
       if (!inserted) {
         return Status::Invalid("spear snapshot: duplicate group sampler");
       }
-      SPEAR_RETURN_NOT_OK(it->second.Restore(std::move(values), seen));
+      SPEAR_RETURN_NOT_OK(
+          it->second.Restore(std::move(values), seen, skipped));
     }
 
     window_states_.emplace(start, std::move(state));

@@ -79,6 +79,21 @@ class SpearWindowManager {
   /// sequence number).
   void OnTuple(std::int64_t coord, Tuple tuple);
 
+  /// Accounts one tuple dropped at admission by load shedding before any
+  /// ingest work (no buffer entry, no spill, no sampler offer). The shed
+  /// count is exact per window: ε̂_w gains the shed ratio
+  /// (lost+shed)/(count+lost+shed) — the same AF-Stream accounting as
+  /// recovery loss — count/sum estimates are rescaled to the full
+  /// population count+shed, and the exact fallback is off the table for
+  /// the affected windows (their raw buffer is incomplete by design).
+  void OnTupleShed(std::int64_t coord);
+
+  /// Marks every active window truncated: the stream was closed abnormally
+  /// (watermark watchdog gave up on a stalled source) and an unknown
+  /// suffix of each window's input may be missing, so their results are
+  /// emitted via the degraded path — the error bound is unverifiable.
+  void NoteStreamTruncation();
+
   /// Alg. 2. Emits one WindowResult per complete non-empty window, in
   /// ascending window order.
   Result<std::vector<WindowResult>> OnWatermark(std::int64_t watermark);
@@ -179,6 +194,13 @@ class SpearWindowManager {
     /// Consumed tuples lost from this window's budget state in recovery
     /// (beyond the replay log); inflates ε̂_w by lost/(count+lost).
     std::uint64_t lost = 0;
+    /// Tuples shed at admission while this window was active (exact
+    /// count, unlike `lost`); inflates ε̂_w together with `lost` and
+    /// rescales count/sum estimates to the population count+shed.
+    std::uint64_t shed = 0;
+    /// The stream closed abnormally under this window (watchdog): an
+    /// unknown suffix is missing, so the window must emit degraded.
+    bool truncated = false;
     RunningStats stats;                    ///< full-window moments (scalar)
     std::unique_ptr<ReservoirSampler<double>> sample;  ///< scalar modes
     std::unique_ptr<GroupStatsTracker> groups;         ///< grouped modes
@@ -212,8 +234,12 @@ class SpearWindowManager {
   Status PopulateGroupedResultFromReservoirs(const WindowState& state,
                                              WindowResult* result);
 
-  /// Materializes a window's tuples for exact processing.
-  Result<CompleteWindow> MaterializeWindow(const WindowBounds& bounds);
+  /// Materializes a window's tuples for exact processing. A non-zero
+  /// `deadline_ns` (absolute, NowNs clock) makes the copy loop check the
+  /// clock periodically and abort with Status::Cancelled once past it —
+  /// the cooperative half of the deadline-bounded exact fallback.
+  Result<CompleteWindow> MaterializeWindow(const WindowBounds& bounds,
+                                           std::int64_t deadline_ns = 0);
 
   /// True when the window's budget state is internally inconsistent (null
   /// sampler/tracker, or a sample larger than the window): the estimate

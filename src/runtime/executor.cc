@@ -1,6 +1,7 @@
 #include "runtime/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <exception>
 #include <iterator>
@@ -14,6 +15,7 @@
 #include "common/logging.h"
 #include "common/retry_policy.h"
 #include "common/time.h"
+#include "runtime/overload.h"
 #include "storage/secondary_storage.h"
 #include "window/watermark.h"
 
@@ -21,7 +23,7 @@ namespace spear {
 
 /// One item on an inter-stage channel.
 struct Executor::Element {
-  enum class Kind : std::uint8_t { kTuple, kWatermark, kFlush };
+  enum class Kind : std::uint8_t { kTuple, kWatermark, kFlush, kAnomaly };
 
   Kind kind = Kind::kTuple;
   int from_channel = 0;
@@ -45,6 +47,15 @@ struct Executor::Element {
   static Element MakeFlush(int from) {
     Element e;
     e.kind = Kind::kFlush;
+    e.from_channel = from;
+    return e;
+  }
+  /// Delivery anomaly: the stream was closed abnormally upstream (e.g. a
+  /// stalled source given up on by the watermark watchdog); an unknown
+  /// suffix of the input may never arrive.
+  static Element MakeAnomaly(int from) {
+    Element e;
+    e.kind = Kind::kAnomaly;
     e.from_channel = from;
     return e;
   }
@@ -168,15 +179,18 @@ class Executor::StageEmitter : public Emitter {
   }
 
   /// Sends a control element to every downstream queue, after flushing all
-  /// buffered tuples so nothing is reordered across it.
+  /// buffered tuples so nothing is reordered across it. Control elements
+  /// use the queue's reserved headroom (PushControl): a watermark or flush
+  /// must never sit blocked behind a saturated data queue, or back-pressure
+  /// would delay the very window closings that drain it.
   void Broadcast(Element element) {
     FlushAll();
     const std::size_t n = next_queues_.size();
     if (n == 0) return;
     for (std::size_t q = 0; q + 1 < n; ++q) {
-      next_queues_[q]->Push(element);  // copy for all but the last queue...
+      next_queues_[q]->PushControl(element);  // copy for all but the last...
     }
-    next_queues_[n - 1]->Push(std::move(element));  // ...which takes the move
+    next_queues_[n - 1]->PushControl(std::move(element));  // ...which moves
   }
 
   bool HasDownstream() const { return !next_queues_.empty(); }
@@ -185,7 +199,11 @@ class Executor::StageEmitter : public Emitter {
   void Flush(std::size_t target) {
     std::vector<Element>& buffer = buffers_[target];
     if (buffer.empty()) return;
-    next_queues_[target]->PushAll(std::move(buffer));
+    std::int64_t blocked_ns = 0;
+    next_queues_[target]->PushAll(std::move(buffer), &blocked_ns);
+    if (blocked_ns > 0 && metrics_ != nullptr) {
+      metrics_->AddBackpressureNs(blocked_ns);
+    }
     // The vector's storage was handed to the queue as a whole batch node;
     // start a fresh allocation for the next batch.
     buffer.reserve(batch_max_);
@@ -227,6 +245,31 @@ Result<RunReport> Executor::Run() {
   // per-worker log; the offset lets an external driver re-seek a
   // re-created source after a full-process restart).
   std::atomic<std::uint64_t> source_offset{0};
+
+  // --- Overload-control wiring -------------------------------------------
+  // One detector per stage when a latency SLO is armed; bolts honoring
+  // BoltContext::overload (SpearBolt) shed admissions while it is tripped.
+  std::vector<std::unique_ptr<OverloadDetector>> detectors(num_stages);
+  if (topology_.overload.ShedEnabled()) {
+    for (std::size_t i = 0; i < num_stages; ++i) {
+      detectors[i] = std::make_unique<OverloadDetector>(
+          topology_.stages[i].name, topology_.overload);
+    }
+  }
+  // The source's emitter is not a registered worker (the registry's size
+  // is observable by callers); its back-pressure counters are folded into
+  // report.overload after the join.
+  WorkerMetrics source_metrics("source", 0);
+  // Source-side signals read by workers (watermark lag) and the watchdog
+  // (stall detection).
+  std::atomic<Timestamp> source_wm{kMinTimestamp};
+  std::atomic<std::uint64_t> source_progress{0};
+  // Whoever CASes this false->true owns the stream close (final watermark
+  // + flush): the source thread at end-of-stream, or the watchdog when it
+  // declares the source stalled. Exactly one of them broadcasts.
+  std::atomic<bool> source_closed{false};
+  std::atomic<std::uint64_t> watchdog_advances{0};
+  std::atomic<bool> watchdog_stop{false};
 
   // Dead-letter retention cap, shared across workers (admission counter);
   // the overflow is counted, not retained.
@@ -279,12 +322,14 @@ Result<RunReport> Executor::Run() {
       }
     }
     // Unblock everyone: closing the queues makes pending Push/Pop return,
-    // and cancelling simulated storage latency makes workers unwinding
-    // through a storage call stop busy-waiting.
+    // cancelling simulated storage latency makes workers unwinding through
+    // a storage call stop busy-waiting, and the cancel hooks unstick
+    // operators blocked outside the executor's control (stalled spouts).
     for (auto& stage_queues : queues) {
       for (auto& q : stage_queues) q->Close();
     }
     for (SecondaryStorage* s : topology_.storages) s->CancelSimulatedLatency();
+    for (const auto& hook : topology_.cancel_hooks) hook();
   };
 
   auto queues_of_stage = [&](std::size_t i) {
@@ -329,10 +374,12 @@ Result<RunReport> Executor::Run() {
                                         "' factory returned null bolt"));
           return;
         }
+        OverloadDetector* const detector = detectors[i].get();
         BoltContext ctx;
         ctx.task_id = task;
         ctx.parallelism = my_stage.parallelism;
         ctx.metrics = metrics;
+        ctx.overload = detector;
         if (Status s = GuardedBoltCall(
                 StatusCode::kInternal, "bolt prepare",
                 [&] { return bolt->Prepare(ctx); });
@@ -366,6 +413,7 @@ Result<RunReport> Executor::Run() {
             static_cast<std::size_t>(channels), false);
         int flushed_count = 0;
         Timestamp local_wm = kMinTimestamp;
+        bool anomaly_seen = false;
 
         // Tears a failed bolt down and rebuilds it in place: fresh
         // instance, state restored from the latest valid snapshot, replay
@@ -459,6 +507,13 @@ Result<RunReport> Executor::Run() {
             if (in_queue->PopAll(&batch, batch_max) == 0) {
               break;  // closed (cancelled run)
             }
+          }
+          if (detector != nullptr) {
+            // Occupancy at pop time (the popped batch counts): observed
+            // before the batch is processed, so admission already sees the
+            // ramped shed probability for these very tuples.
+            detector->ObserveQueue(in_queue->size() + batch.size(),
+                                   in_queue->capacity());
           }
 
           // Drain the popped batch locally; metrics updates are batched —
@@ -557,6 +612,19 @@ Result<RunReport> Executor::Run() {
                       *std::min_element(channel_wm.begin(), channel_wm.end());
                   if (aligned > local_wm) {
                     local_wm = aligned;
+                    if (detector != nullptr &&
+                        local_wm != WatermarkGenerator::FinalWatermark()) {
+                      // How far this stage's aligned watermark trails the
+                      // source's: a healthy (zero-lag) observation decays
+                      // the shed probability, a laggy one ratchets it.
+                      const Timestamp src =
+                          source_wm.load(std::memory_order_relaxed);
+                      if (src != kMinTimestamp &&
+                          src != WatermarkGenerator::FinalWatermark()) {
+                        detector->ObserveWatermarkLag(
+                            src > local_wm ? src - local_wm : 0);
+                      }
+                    }
                     // Watermark work is not idempotent (window state
                     // advances), so it is guarded but never retried; an
                     // escaped exception here is recovered from the
@@ -611,6 +679,22 @@ Result<RunReport> Executor::Run() {
                   }
                   break;
                 }
+                case Element::Kind::kAnomaly: {
+                  // Deliver once per worker (each upstream task forwards
+                  // its own copy), then propagate so every downstream
+                  // stage learns the stream was cut short before its
+                  // final watermark arrives.
+                  if (!anomaly_seen) {
+                    anomaly_seen = true;
+                    status = GuardedBoltCall(
+                        StatusCode::kInternal, "bolt delivery anomaly",
+                        [&] { return bolt->OnDeliveryAnomaly(bolt_out); });
+                    if (status.ok() && emitter.HasDownstream()) {
+                      emitter.Broadcast(Element::MakeAnomaly(task));
+                    }
+                  }
+                  break;
+                }
                 case Element::Kind::kFlush: {
                   auto flushed_flag = channel_flushed.begin() +
                                       element.from_channel;
@@ -651,7 +735,8 @@ Result<RunReport> Executor::Run() {
   // --- Source thread ------------------------------------------------------
   threads.emplace_back([&]() {
     StageEmitter emitter(0, &topology_.stages[0].input_partitioner,
-                         queues_of_stage(0), batch_max, nullptr, nullptr);
+                         queues_of_stage(0), batch_max, &source_metrics,
+                         nullptr);
     ReplayableSpout* const replay_source =
         topology_.source.spout->replayable();
     // With interval <= 0 the generator is never consulted: only the final
@@ -663,28 +748,102 @@ Result<RunReport> Executor::Run() {
     std::vector<Tuple> pulled;
     pulled.reserve(batch_max);
     bool more = true;
-    while (more && !failed.load(std::memory_order_relaxed)) {
+    while (more && !failed.load(std::memory_order_relaxed) &&
+           !source_closed.load(std::memory_order_acquire)) {
       pulled.clear();
       more = topology_.source.spout->NextBatch(&pulled, batch_max);
+      source_progress.fetch_add(1, std::memory_order_relaxed);
       if (replay_source != nullptr) {
         source_offset.store(replay_source->ReplayOffset(),
                             std::memory_order_relaxed);
       }
       for (Tuple& tuple : pulled) {
+        // Re-check per tuple: once the watchdog closed the stream, every
+        // further emission would land behind its flush marker and be
+        // ignored — stop feeding the queues instead. Bounds the racing
+        // overshoot to the one batch already pulled.
+        if (source_closed.load(std::memory_order_acquire)) break;
         const Timestamp t = tuple.event_time();
         emitter.Emit(std::move(tuple));
         if (topology_.source.watermark_interval > 0 && generator.Observe(t)) {
-          emitter.Broadcast(Element::MakeWatermark(generator.current(), 0));
+          const Timestamp wm = generator.current();
+          source_wm.store(wm, std::memory_order_relaxed);
+          emitter.Broadcast(Element::MakeWatermark(wm, 0));
         }
       }
     }
-    // Final watermark releases every buffered window, then flush.
+    // Final watermark releases every buffered window, then flush — unless
+    // the watchdog already closed the stream on this source's behalf.
+    bool expected = false;
+    if (!source_closed.compare_exchange_strong(expected, true)) return;
+    source_wm.store(WatermarkGenerator::FinalWatermark(),
+                    std::memory_order_relaxed);
     emitter.Broadcast(
         Element::MakeWatermark(WatermarkGenerator::FinalWatermark(), 0));
     emitter.Broadcast(Element::MakeFlush(0));
   });
 
+  // --- Watermark watchdog -------------------------------------------------
+  // A source that makes no progress for `watchdog_idle` while the stage-0
+  // queues sit *empty* is stalled, not back-pressured (a blocked-on-full
+  // source would leave its queues non-empty). The watchdog takes over the
+  // stream close: cancel hooks unstick the spout, an anomaly element tells
+  // the bolts the input was cut short (open windows emit degraded instead
+  // of posing as accurate), and the final watermark + flush release them.
+  // All of its pushes are control elements (reserved headroom), so the
+  // watchdog itself can never block on a queue.
+  std::thread watchdog_thread;
+  if (topology_.overload.WatchdogEnabled()) {
+    watchdog_thread = std::thread([&]() {
+      const std::int64_t idle_ns =
+          topology_.overload.watchdog_idle * 1'000'000;
+      const DurationMs poll_ms =
+          std::max<DurationMs>(topology_.overload.watchdog_idle / 4, 1);
+      std::uint64_t last_progress =
+          source_progress.load(std::memory_order_relaxed);
+      std::int64_t last_change_ns = NowNs();
+      while (!watchdog_stop.load(std::memory_order_acquire) &&
+             !failed.load(std::memory_order_relaxed) &&
+             !source_closed.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+        const std::uint64_t progress =
+            source_progress.load(std::memory_order_relaxed);
+        if (progress != last_progress) {
+          last_progress = progress;
+          last_change_ns = NowNs();
+          continue;
+        }
+        bool starved = true;
+        for (auto& q : queues[0]) {
+          if (q->size() != 0) {
+            starved = false;
+            break;
+          }
+        }
+        if (!starved) {
+          // Idle source but data still in flight: back-pressure territory.
+          last_change_ns = NowNs();
+          continue;
+        }
+        if (NowNs() - last_change_ns < idle_ns) continue;
+        bool expected = false;
+        if (!source_closed.compare_exchange_strong(expected, true)) break;
+        watchdog_advances.fetch_add(1, std::memory_order_relaxed);
+        for (const auto& hook : topology_.cancel_hooks) hook();
+        StageEmitter closer(0, &topology_.stages[0].input_partitioner,
+                            queues_of_stage(0), batch_max, nullptr, nullptr);
+        closer.Broadcast(Element::MakeAnomaly(0));
+        closer.Broadcast(Element::MakeWatermark(
+            WatermarkGenerator::FinalWatermark(), 0));
+        closer.Broadcast(Element::MakeFlush(0));
+        break;
+      }
+    });
+  }
+
   for (std::thread& t : threads) t.join();
+  watchdog_stop.store(true, std::memory_order_release);
+  if (watchdog_thread.joinable()) watchdog_thread.join();
 
   if (failed.load()) {
     std::lock_guard<std::mutex> lock(error_mutex);
@@ -722,6 +881,10 @@ Result<RunReport> Executor::Run() {
   report.recoveries = report.faults.worker_restarts;
   report.dead_letters_dropped =
       dropped_dead_letters.load(std::memory_order_relaxed);
+  report.overload = report.metrics.OverloadTotals();
+  report.overload.Accumulate(source_metrics.overload());
+  report.overload.watchdog_advances +=
+      watchdog_advances.load(std::memory_order_relaxed);
   return report;
 }
 

@@ -76,6 +76,9 @@ struct RunReport {
   /// Quarantined tuples not retained in dead_letters because the cap was
   /// reached (they still count in faults.quarantined).
   std::uint64_t dead_letters_dropped = 0;
+  /// Aggregated overload-control counters (shedding, deadline aborts,
+  /// watchdog interventions, back-pressure stall time).
+  OverloadStats overload;
 };
 
 /// \brief Runs one topology to completion. Single-use.

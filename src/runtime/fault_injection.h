@@ -1,11 +1,15 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "common/fault.h"
+#include "common/time.h"
 #include "runtime/operator.h"
 
 /// \file fault_injection.h
@@ -67,6 +71,10 @@ class FaultInjectingBolt : public Bolt {
 
   Status Finish(Emitter* out) override { return inner_->Finish(out); }
 
+  Status OnDeliveryAnomaly(Emitter* out) override {
+    return inner_->OnDeliveryAnomaly(out);
+  }
+
   /// Recovery snapshots/restores the wrapped bolt's state; injection
   /// keeps applying at this wrapper's Execute/OnWatermark.
   Checkpointable* checkpointable() override {
@@ -106,6 +114,14 @@ class FaultInjectingSpout : public Spout {
     Tuple tuple;
     if (!inner_->Next(&tuple)) return false;
     if (injector_ != nullptr) {
+      if (injector_->armed(FaultSite::kSpoutStall)) {
+        const FaultInjector::Decision d =
+            injector_->Tick(FaultSite::kSpoutStall);
+        // Stall *before* the tuple leaves: the executor's source thread
+        // blocks in NextBatch, watermarks stop, and downstream windows
+        // starve — exactly the failure the watermark watchdog targets.
+        if (d.fire) Stall(d.extra_latency_ns);
+      }
       if (injector_->armed(FaultSite::kSpoutDuplicate) &&
           injector_->Tick(FaultSite::kSpoutDuplicate).fire) {
         pending_.push_back(tuple);
@@ -135,11 +151,30 @@ class FaultInjectingSpout : public Spout {
   /// poison copies are derived, not consumed positions).
   ReplayableSpout* replayable() override { return inner_->replayable(); }
 
+  /// Unsticks an active (and any future) kSpoutStall. Called by the
+  /// topology's cancel hooks when the watchdog or an error path gives up
+  /// on this spout; safe from any thread, idempotent.
+  void CancelStall() {
+    stall_cancelled_.store(true, std::memory_order_release);
+  }
+
  private:
+  /// Sleeps in short slices until cancelled or (when `bound_ns` > 0) the
+  /// bound elapses. A zero bound stalls indefinitely — only CancelStall
+  /// releases it.
+  void Stall(std::int64_t bound_ns) {
+    const std::int64_t start = NowNs();
+    while (!stall_cancelled_.load(std::memory_order_acquire)) {
+      if (bound_ns > 0 && NowNs() - start >= bound_ns) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
   std::shared_ptr<Spout> inner_;
   FaultInjector* injector_;
   MalformFn malform_;
   std::deque<Tuple> pending_;
+  std::atomic<bool> stall_cancelled_{false};
 };
 
 }  // namespace spear

@@ -58,6 +58,29 @@ struct FaultStats {
   }
 };
 
+/// \brief Overload-control counters of one run (or one worker),
+/// aggregated into RunReport::overload by the executor.
+struct OverloadStats {
+  /// Tuples dropped at stage admission by accuracy-aware load shedding.
+  std::uint64_t tuples_shed = 0;
+  /// Windows emitted whose ε̂_w includes shed-loss inflation.
+  std::uint64_t windows_shed_loss = 0;
+  /// Exact fallbacks aborted at their deadline (window emitted degraded).
+  std::uint64_t deadline_aborts = 0;
+  /// Watermark-watchdog interventions (stalled source closed/advanced).
+  std::uint64_t watchdog_advances = 0;
+  /// Time producers spent blocked on full inter-stage queues.
+  std::int64_t backpressure_wait_ns = 0;
+
+  void Accumulate(const OverloadStats& other) {
+    tuples_shed += other.tuples_shed;
+    windows_shed_loss += other.windows_shed_loss;
+    deadline_aborts += other.deadline_aborts;
+    watchdog_advances += other.watchdog_advances;
+    backpressure_wait_ns += other.backpressure_wait_ns;
+  }
+};
+
 /// \brief One worker thread's counters. Written by exactly one thread.
 class WorkerMetrics {
  public:
@@ -77,6 +100,12 @@ class WorkerMetrics {
   void AddDegradedWindows(std::uint64_t n) { faults_.degraded_windows += n; }
   void AddWorkerRestarts(std::uint64_t n) { faults_.worker_restarts += n; }
   void AddSnapshots(std::uint64_t n) { faults_.snapshots += n; }
+  void AddTuplesShed(std::uint64_t n) { overload_.tuples_shed += n; }
+  void AddWindowsShedLoss(std::uint64_t n) { overload_.windows_shed_loss += n; }
+  void AddDeadlineAborts(std::uint64_t n) { overload_.deadline_aborts += n; }
+  void AddBackpressureNs(std::int64_t ns) {
+    overload_.backpressure_wait_ns += ns;
+  }
 
   const std::string& stage() const { return stage_; }
   int task_id() const { return task_id_; }
@@ -84,6 +113,7 @@ class WorkerMetrics {
   std::uint64_t tuples_out() const { return tuples_out_; }
   std::int64_t busy_ns() const { return busy_ns_; }
   const FaultStats& faults() const { return faults_; }
+  const OverloadStats& overload() const { return overload_; }
   const std::vector<std::int64_t>& window_ns() const { return window_ns_; }
   const std::vector<std::int64_t>& memory_bytes() const {
     return memory_bytes_;
@@ -103,6 +133,7 @@ class WorkerMetrics {
   std::uint64_t tuples_out_ = 0;
   std::int64_t busy_ns_ = 0;
   FaultStats faults_;
+  OverloadStats overload_;
   std::vector<std::int64_t> window_ns_;
   std::vector<std::int64_t> memory_bytes_;
 };
@@ -138,6 +169,14 @@ class MetricsRegistry {
   FaultStats FaultTotals() const {
     FaultStats total;
     for (const auto& w : workers_) total.Accumulate(w->faults());
+    return total;
+  }
+
+  /// Overload-control counters summed across every worker
+  /// (watchdog_advances stays 0 here; the executor adds its own).
+  OverloadStats OverloadTotals() const {
+    OverloadStats total;
+    for (const auto& w : workers_) total.Accumulate(w->overload());
     return total;
   }
 

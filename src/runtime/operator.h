@@ -19,8 +19,9 @@
 
 namespace spear {
 
-class Checkpointable;   // checkpoint/checkpointable.h
-class ReplayableSpout;  // checkpoint/checkpointable.h
+class Checkpointable;    // checkpoint/checkpointable.h
+class ReplayableSpout;   // checkpoint/checkpointable.h
+class OverloadDetector;  // runtime/overload.h
 
 /// \brief Downstream emission handle given to bolts.
 class Emitter {
@@ -34,6 +35,10 @@ struct BoltContext {
   int task_id = 0;
   int parallelism = 1;
   WorkerMetrics* metrics = nullptr;
+  /// This stage's overload detector, or null when no latency SLO is
+  /// configured. Admission-shedding bolts read shed_probability() per
+  /// tuple and report window latencies back.
+  OverloadDetector* overload = nullptr;
 };
 
 /// \brief A processing stage instance. One Bolt object per worker thread;
@@ -62,6 +67,16 @@ class Bolt {
 
   /// End of stream, after the final watermark. Flush any residual state.
   virtual Status Finish(Emitter* out) {
+    (void)out;
+    return Status::OK();
+  }
+
+  /// Delivery-anomaly notification: the runtime has closed the stream
+  /// abnormally (e.g. the watermark watchdog gave up on a stalled spout)
+  /// and an unknown suffix of the input may never arrive. Windows still
+  /// open must not be passed off as accurate — SPEAr bolts flag them for
+  /// degraded emission. Default: ignore (stateless bolts lose nothing).
+  virtual Status OnDeliveryAnomaly(Emitter* out) {
     (void)out;
     return Status::OK();
   }

@@ -1,0 +1,88 @@
+#include "runtime/overload.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace spear {
+
+namespace {
+/// Shed probabilities below this decay straight to zero — keeps the
+/// admission path from drawing random numbers forever after recovery.
+constexpr double kShedFloor = 1e-3;
+}  // namespace
+
+Status ShedPolicy::Validate() const {
+  if (queue_high_watermark < 0.0 || queue_high_watermark > 1.0) {
+    return Status::Invalid("shed queue_high_watermark must be in [0, 1]");
+  }
+  if (shed_step <= 0.0 || shed_step > 1.0) {
+    return Status::Invalid("shed_step must be in (0, 1]");
+  }
+  if (shed_decay < 0.0 || shed_decay >= 1.0) {
+    return Status::Invalid("shed_decay must be in [0, 1)");
+  }
+  if (max_shed_probability <= 0.0 || max_shed_probability >= 1.0) {
+    return Status::Invalid("max_shed_probability must be in (0, 1)");
+  }
+  if (watermark_lag_slo < 0) {
+    return Status::Invalid("watermark_lag_slo must be >= 0");
+  }
+  return Status::OK();
+}
+
+Status OverloadConfig::Validate() const {
+  if (latency_slo < 0) {
+    return Status::Invalid("latency SLO must be >= 0 (0 = disabled)");
+  }
+  if (watchdog_idle < 0) {
+    return Status::Invalid("watchdog idle timeout must be >= 0 (0 = off)");
+  }
+  if (ShedEnabled()) return shed.Validate();
+  return Status::OK();
+}
+
+OverloadDetector::OverloadDetector(std::string stage, OverloadConfig config)
+    : stage_(std::move(stage)),
+      config_(std::move(config)),
+      lag_slo_(config_.shed.watermark_lag_slo > 0
+                   ? config_.shed.watermark_lag_slo
+                   : 4 * config_.latency_slo) {}
+
+void OverloadDetector::ObserveQueue(std::size_t size, std::size_t capacity) {
+  if (capacity == 0) return;
+  const double occupancy =
+      static_cast<double>(size) / static_cast<double>(capacity);
+  RecordSignal(occupancy >= config_.shed.queue_high_watermark);
+}
+
+void OverloadDetector::ObserveWindowLatency(std::int64_t ns) {
+  RecordSignal(ns > config_.latency_slo * 1'000'000);
+}
+
+void OverloadDetector::ObserveWatermarkLag(DurationMs lag) {
+  if (lag_slo_ <= 0) return;
+  RecordSignal(lag >= lag_slo_);
+}
+
+void OverloadDetector::RecordSignal(bool overloaded) {
+  tripped_.store(overloaded, std::memory_order_relaxed);
+  if (overloaded) trips_.fetch_add(1, std::memory_order_relaxed);
+  double current = shed_probability_.load(std::memory_order_relaxed);
+  for (;;) {
+    double next;
+    if (overloaded) {
+      next = std::min(config_.shed.max_shed_probability,
+                      current + config_.shed.shed_step);
+    } else {
+      next = current * config_.shed.shed_decay;
+      if (next < kShedFloor) next = 0.0;
+    }
+    if (next == current) return;
+    if (shed_probability_.compare_exchange_weak(current, next,
+                                                std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace spear

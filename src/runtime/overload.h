@@ -1,0 +1,109 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/time.h"
+
+/// \file overload.h
+/// Overload control for sustained over-capacity ingest. SPEAr's promise is
+/// graceful degradation — emit an approximate answer with a known error
+/// bound instead of paying the full cost — and this subsystem extends that
+/// trade to load: when a stateful stage cannot keep up with its latency
+/// SLO, tuples are shed at admission *with accounting*, so the shed ratio
+/// widens the reported ε̂_w (exactly like recovery loss) instead of
+/// silently corrupting results. The design follows StreamApprox's
+/// sampling-under-load and AF-Stream's bounded-error degradation.
+///
+/// Three signals feed one detector per stateful stage:
+///   - queue occupancy of the stage's input channels (the executor
+///     observes it per popped batch),
+///   - watermark lag between the source and the stage's aligned watermark,
+///   - per-window processing time against the latency SLO.
+/// Any tripped signal ratchets the shed probability up additively; every
+/// healthy observation decays it multiplicatively, so shedding is
+/// self-clearing once the backlog drains. With no SLO configured the
+/// detector is never built and the admission path costs one null check.
+
+namespace spear {
+
+/// \brief How aggressively to shed once the detector trips.
+struct ShedPolicy {
+  /// Input-queue occupancy fraction at or above which the queue signal
+  /// trips. 0 trips on every observation (useful for deterministic tests).
+  double queue_high_watermark = 0.75;
+  /// Additive shed-probability increase per tripped observation.
+  double shed_step = 0.15;
+  /// Multiplicative shed-probability decay per healthy observation.
+  double shed_decay = 0.5;
+  /// Upper bound on the shed probability. Shedding more than this keeps a
+  /// sliver of every window flowing so ε̂_w stays estimable.
+  double max_shed_probability = 0.95;
+  /// Watermark lag at or above which the lag signal trips.
+  /// 0 derives the bound as 4 × the latency SLO.
+  DurationMs watermark_lag_slo = 0;
+
+  Status Validate() const;
+};
+
+/// \brief Per-topology overload-control configuration. Defaults disable
+/// every mechanism: detectors and the watchdog are only built when their
+/// knobs are set, keeping the unconfigured hot path unchanged.
+struct OverloadConfig {
+  /// Per-window processing-time SLO. 0 disables detection + shedding.
+  DurationMs latency_slo = 0;
+  /// Shed aggressiveness (used only when latency_slo > 0).
+  ShedPolicy shed;
+  /// Idle-source timeout for the watermark watchdog. 0 disables it.
+  DurationMs watchdog_idle = 0;
+
+  bool ShedEnabled() const { return latency_slo > 0; }
+  bool WatchdogEnabled() const { return watchdog_idle > 0; }
+
+  Status Validate() const;
+};
+
+/// \brief Per-stage overload detector. Thread-safe: the executor's workers
+/// report queue occupancy and watermark lag, the stage's bolts report
+/// window latency, and every admission path reads shed_probability() — all
+/// lock-free.
+class OverloadDetector {
+ public:
+  OverloadDetector(std::string stage, OverloadConfig config);
+
+  /// Reports the stage's input-queue occupancy after a pop.
+  void ObserveQueue(std::size_t size, std::size_t capacity);
+  /// Reports one window's processing time.
+  void ObserveWindowLatency(std::int64_t ns);
+  /// Reports the stage's watermark lag behind the source.
+  void ObserveWatermarkLag(DurationMs lag);
+
+  /// Probability with which the stage should shed an arriving tuple.
+  double shed_probability() const {
+    return shed_probability_.load(std::memory_order_relaxed);
+  }
+  /// True while the most recent observation was overloaded.
+  bool tripped() const { return tripped_.load(std::memory_order_relaxed); }
+  /// Total overloaded observations.
+  std::uint64_t trips() const {
+    return trips_.load(std::memory_order_relaxed);
+  }
+
+  const std::string& stage() const { return stage_; }
+  const OverloadConfig& config() const { return config_; }
+
+ private:
+  /// Folds one overloaded/healthy observation into the shed probability.
+  void RecordSignal(bool overloaded);
+
+  const std::string stage_;
+  const OverloadConfig config_;
+  const DurationMs lag_slo_;
+  std::atomic<double> shed_probability_{0.0};
+  std::atomic<bool> tripped_{false};
+  std::atomic<std::uint64_t> trips_{0};
+};
+
+}  // namespace spear

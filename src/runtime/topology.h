@@ -1,7 +1,9 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "checkpoint/checkpoint.h"
@@ -10,6 +12,7 @@
 #include "common/retry_policy.h"
 #include "common/time.h"
 #include "runtime/operator.h"
+#include "runtime/overload.h"
 #include "runtime/partitioner.h"
 
 /// \file topology.h
@@ -75,6 +78,13 @@ struct Topology {
   /// memory; tuples quarantined past the cap are counted in
   /// RunReport::dead_letters_dropped instead of retained.
   std::size_t max_dead_letters = 1024;
+  /// Overload control: latency SLO + shed policy + watermark watchdog
+  /// (all disabled by default; see runtime/overload.h).
+  OverloadConfig overload;
+  /// Invoked (each at most once, any thread) when the executor abandons a
+  /// run or the watchdog closes a stalled source — unsticks operators
+  /// blocked outside the executor's control (e.g. a stalled spout).
+  std::vector<std::function<void()>> cancel_hooks;
 };
 
 /// \brief Fluent builder mirroring the structure of the paper's Fig. 2
@@ -150,6 +160,36 @@ class TopologyBuilder {
     return *this;
   }
 
+  /// Arms overload control with a per-window latency SLO (ms). Each
+  /// stage gets an OverloadDetector; bolts that honor BoltContext::overload
+  /// shed admissions while the detector is tripped.
+  TopologyBuilder& LatencySlo(DurationMs slo_ms) {
+    topology_.overload.latency_slo = slo_ms;
+    return *this;
+  }
+
+  /// Replaces the shed policy (thresholds/ramp; see ShedPolicy). Only
+  /// effective together with LatencySlo.
+  TopologyBuilder& Shed(ShedPolicy policy) {
+    topology_.overload.shed = policy;
+    return *this;
+  }
+
+  /// Arms the watermark watchdog: a source that makes no progress for
+  /// `idle_ms` while the stage-0 queues sit empty is declared stalled and
+  /// the stream is closed abnormally (bolts get OnDeliveryAnomaly, then
+  /// the final watermark).
+  TopologyBuilder& WatermarkWatchdog(DurationMs idle_ms) {
+    topology_.overload.watchdog_idle = idle_ms;
+    return *this;
+  }
+
+  /// Registers a cancel hook (see Topology::cancel_hooks).
+  TopologyBuilder& AddCancelHook(std::function<void()> hook) {
+    if (hook) topology_.cancel_hooks.push_back(std::move(hook));
+    return *this;
+  }
+
   /// Validates and returns the plan.
   Result<Topology> Build() {
     if (!topology_.source.spout) return Status::Invalid("topology has no source");
@@ -171,6 +211,7 @@ class TopologyBuilder {
     if (topology_.batch_max_tuples == 0) {
       return Status::Invalid("batch_max_tuples must be > 0");
     }
+    if (Status os = topology_.overload.Validate(); !os.ok()) return os;
     if (topology_.checkpoint.enabled) {
       if (topology_.checkpoint.interval < 1) {
         return Status::Invalid("checkpoint interval must be >= 1 ms");

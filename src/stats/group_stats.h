@@ -53,6 +53,19 @@ class GroupStatsTracker {
   std::uint64_t total_count() const { return total_count_; }
   std::size_t max_groups() const { return max_groups_; }
 
+  /// Records `n` window tuples shed at admission before their group key
+  /// was extracted. They belong to the window's population but to no
+  /// tracked group: per-group frequencies become lower bounds with
+  /// inclusion probability total_count/effective_total, and the window
+  /// manager folds shed/effective_total into ε̂_w.
+  void NoteShed(std::uint64_t n) { shed_ += n; }
+
+  /// Tuples shed upstream of this tracker.
+  std::uint64_t shed() const { return shed_; }
+
+  /// Window population the tracked groups stand for: observed + shed.
+  std::uint64_t effective_total() const { return total_count_ + shed_; }
+
   const std::unordered_map<std::string, RunningStats>& groups() const {
     return groups_;
   }
@@ -66,6 +79,7 @@ class GroupStatsTracker {
   void Reset() {
     groups_.clear();
     total_count_ = 0;
+    shed_ = 0;
     overflowed_ = false;
   }
 
@@ -105,6 +119,7 @@ class GroupStatsTracker {
   const std::size_t max_groups_;
   std::unordered_map<std::string, RunningStats> groups_;
   std::uint64_t total_count_ = 0;
+  std::uint64_t shed_ = 0;
   bool overflowed_ = false;
 };
 

@@ -62,6 +62,22 @@ class ReservoirSampler {
   /// Number of elements offered so far (the window size N).
   std::uint64_t seen() const { return seen_; }
 
+  /// Records `n` population elements excluded from sampling upstream
+  /// (load shedding): they belong to the stream this sample summarizes
+  /// but never reached Offer(). The sample stays uniform over the
+  /// *offered* subset; with population() as the denominator, a sampled
+  /// element's inclusion probability drops from |sample|/seen to
+  /// |sample|/population, so estimators that scale by population() stay
+  /// centered under uniform shedding while the shed mass fraction
+  /// skipped/population is folded into ε̂_w by the window manager.
+  void NoteSkipped(std::uint64_t n) { skipped_ += n; }
+
+  /// Elements shed upstream of this reservoir.
+  std::uint64_t skipped() const { return skipped_; }
+
+  /// Size of the population the sample stands for: offered + shed.
+  std::uint64_t population() const { return seen_ + skipped_; }
+
   /// Current sample contents (size = min(seen, capacity)).
   const std::vector<T>& sample() const { return sample_; }
 
@@ -73,6 +89,7 @@ class ReservoirSampler {
   void Reset() {
     sample_.clear();
     seen_ = 0;
+    skipped_ = 0;
     if (algorithm_ == ReservoirAlgorithm::kAlgorithmL) InitW();
   }
 
@@ -82,7 +99,8 @@ class ReservoirSampler {
   /// summarizes and future Offers keep the correct inclusion probability
   /// capacity/seen, but post-restore replacement *choices* are a fresh
   /// random draw (statistically faithful recovery, not bit-identical).
-  Status Restore(std::vector<T> sample, std::uint64_t seen) {
+  Status Restore(std::vector<T> sample, std::uint64_t seen,
+                 std::uint64_t skipped = 0) {
     if (sample.size() > capacity_) {
       return Status::Invalid("reservoir restore: sample exceeds capacity");
     }
@@ -96,6 +114,7 @@ class ReservoirSampler {
     sample_ = std::move(sample);
     sample_.reserve(capacity_);
     seen_ = seen;
+    skipped_ = skipped;
     if (algorithm_ == ReservoirAlgorithm::kAlgorithmL) {
       // Re-derive the skip state as if `seen_` elements had streamed by.
       w_ = std::exp(std::log(rng_.NextDouble()) /
@@ -130,6 +149,7 @@ class ReservoirSampler {
   const ReservoirAlgorithm algorithm_;
   std::vector<T> sample_;
   std::uint64_t seen_ = 0;
+  std::uint64_t skipped_ = 0;
   // Algorithm L state.
   double w_ = 0.0;
   std::uint64_t next_replace_ = 0;

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -54,6 +56,77 @@ TEST(BlockingQueueTest, PushFailsAfterClose) {
   q.Close();
   EXPECT_FALSE(q.Push(1));
   EXPECT_FALSE(q.TryPush(1));
+}
+
+// Control elements get reserved headroom: a full data queue must not make
+// a watermark wait behind the very tuples it would release.
+TEST(BlockingQueueTest, PushControlBypassesCapacity) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.Push(1));
+  EXPECT_TRUE(q.Push(2));
+  EXPECT_TRUE(q.PushControl(3));  // would deadlock if it waited for room
+  EXPECT_EQ(q.size(), 3u);       // transient overshoot is allowed
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(q.Pop().value(), 3);
+}
+
+TEST(BlockingQueueTest, PushControlFailsAfterClose) {
+  BlockingQueue<int> q(2);
+  q.Close();
+  EXPECT_FALSE(q.PushControl(1));
+}
+
+// Data producers keep blocking while control overshoot is outstanding —
+// the headroom is reserved for control elements, not free capacity.
+TEST(BlockingQueueTest, ControlOvershootStillBackpressuresData) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.PushControl(2));
+  EXPECT_FALSE(q.TryPush(3));
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_FALSE(q.TryPush(3));  // still at capacity from the overshoot
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BlockingQueueTest, BlockedPushRecordsBackpressureWait) {
+  BlockingQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::int64_t blocked_ns = 0;
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.Pop();
+  });
+  EXPECT_TRUE(q.Push(2, &blocked_ns));
+  consumer.join();
+  EXPECT_GT(blocked_ns, 0);
+}
+
+TEST(BlockingQueueTest, UnblockedPushRecordsNoWait) {
+  BlockingQueue<int> q(4);
+  std::int64_t blocked_ns = 0;
+  EXPECT_TRUE(q.Push(1, &blocked_ns));
+  std::vector<int> batch{2, 3};
+  EXPECT_TRUE(q.PushAll(std::move(batch), &blocked_ns));
+  EXPECT_EQ(blocked_ns, 0);
+}
+
+TEST(BlockingQueueTest, BlockedPushAllRecordsBackpressureWait) {
+  BlockingQueue<int> q(2);
+  ASSERT_TRUE(q.Push(1));
+  ASSERT_TRUE(q.Push(2));
+  std::int64_t blocked_ns = 0;
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    while (q.Pop().has_value()) {
+    }
+  });
+  std::vector<int> batch{3, 4, 5};
+  EXPECT_TRUE(q.PushAll(std::move(batch), &blocked_ns));
+  q.Close();
+  consumer.join();
+  EXPECT_GT(blocked_ns, 0);
 }
 
 TEST(BlockingQueueTest, BoundedPushBlocksUntilDrained) {

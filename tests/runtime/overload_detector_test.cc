@@ -1,0 +1,145 @@
+#include "runtime/overload.h"
+
+#include <gtest/gtest.h>
+
+/// \file overload_detector_test.cc
+/// Unit coverage of the overload-control primitives: policy validation and
+/// the detector's additive-ramp / multiplicative-decay shed probability.
+
+namespace spear {
+namespace {
+
+OverloadConfig SloConfig(DurationMs slo = 10) {
+  OverloadConfig config;
+  config.latency_slo = slo;
+  return config;
+}
+
+TEST(ShedPolicyTest, DefaultsValidate) {
+  EXPECT_TRUE(ShedPolicy{}.Validate().ok());
+}
+
+TEST(ShedPolicyTest, RejectsOutOfRangeKnobs) {
+  ShedPolicy p;
+  p.queue_high_watermark = 1.5;
+  EXPECT_FALSE(p.Validate().ok());
+
+  p = ShedPolicy{};
+  p.shed_step = 0.0;
+  EXPECT_FALSE(p.Validate().ok());
+
+  p = ShedPolicy{};
+  p.shed_decay = 1.0;  // would never decay
+  EXPECT_FALSE(p.Validate().ok());
+
+  p = ShedPolicy{};
+  p.max_shed_probability = 1.0;  // would shed whole windows
+  EXPECT_FALSE(p.Validate().ok());
+
+  p = ShedPolicy{};
+  p.watermark_lag_slo = -1;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(OverloadConfigTest, DisabledByDefault) {
+  OverloadConfig config;
+  EXPECT_FALSE(config.ShedEnabled());
+  EXPECT_FALSE(config.WatchdogEnabled());
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+TEST(OverloadConfigTest, NegativeKnobsRejected) {
+  OverloadConfig config;
+  config.latency_slo = -5;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = OverloadConfig{};
+  config.watchdog_idle = -1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(OverloadDetectorTest, StartsClean) {
+  OverloadDetector detector("stateful", SloConfig());
+  EXPECT_EQ(detector.shed_probability(), 0.0);
+  EXPECT_FALSE(detector.tripped());
+  EXPECT_EQ(detector.trips(), 0u);
+}
+
+TEST(OverloadDetectorTest, QueueOccupancyRampsShedProbability) {
+  OverloadConfig config = SloConfig();
+  config.shed.queue_high_watermark = 0.75;
+  config.shed.shed_step = 0.15;
+  OverloadDetector detector("stateful", config);
+
+  detector.ObserveQueue(80, 100);  // 0.8 >= 0.75: tripped
+  EXPECT_TRUE(detector.tripped());
+  EXPECT_DOUBLE_EQ(detector.shed_probability(), 0.15);
+  detector.ObserveQueue(100, 100);
+  EXPECT_DOUBLE_EQ(detector.shed_probability(), 0.30);
+  EXPECT_EQ(detector.trips(), 2u);
+}
+
+TEST(OverloadDetectorTest, ShedProbabilityIsCapped) {
+  OverloadConfig config = SloConfig();
+  config.shed.shed_step = 0.5;
+  config.shed.max_shed_probability = 0.6;
+  OverloadDetector detector("stateful", config);
+  for (int k = 0; k < 10; ++k) detector.ObserveQueue(100, 100);
+  EXPECT_DOUBLE_EQ(detector.shed_probability(), 0.6);
+}
+
+TEST(OverloadDetectorTest, HealthyObservationsDecayToZero) {
+  OverloadConfig config = SloConfig();
+  config.shed.shed_step = 0.4;
+  config.shed.shed_decay = 0.5;
+  OverloadDetector detector("stateful", config);
+  detector.ObserveQueue(100, 100);
+  ASSERT_GT(detector.shed_probability(), 0.0);
+  // Each healthy observation halves p; below the floor it snaps to 0 so
+  // the admission path goes back to a single comparison.
+  for (int k = 0; k < 64; ++k) detector.ObserveQueue(0, 100);
+  EXPECT_FALSE(detector.tripped());
+  EXPECT_EQ(detector.shed_probability(), 0.0);
+}
+
+TEST(OverloadDetectorTest, WindowLatencyAgainstSloTrips) {
+  OverloadDetector detector("stateful", SloConfig(/*slo=*/10));
+  detector.ObserveWindowLatency(5'000'000);  // 5 ms < 10 ms: healthy
+  EXPECT_FALSE(detector.tripped());
+  EXPECT_EQ(detector.shed_probability(), 0.0);
+  detector.ObserveWindowLatency(25'000'000);  // 25 ms > 10 ms: overloaded
+  EXPECT_TRUE(detector.tripped());
+  EXPECT_GT(detector.shed_probability(), 0.0);
+}
+
+TEST(OverloadDetectorTest, WatermarkLagDefaultsToFourTimesSlo) {
+  OverloadDetector detector("stateful", SloConfig(/*slo=*/10));
+  detector.ObserveWatermarkLag(39);  // < 4 x 10 ms: healthy
+  EXPECT_FALSE(detector.tripped());
+  detector.ObserveWatermarkLag(40);  // >= 4 x 10 ms: overloaded
+  EXPECT_TRUE(detector.tripped());
+}
+
+TEST(OverloadDetectorTest, ExplicitLagSloOverridesDerivedOne) {
+  OverloadConfig config = SloConfig(/*slo=*/10);
+  config.shed.watermark_lag_slo = 500;
+  OverloadDetector detector("stateful", config);
+  detector.ObserveWatermarkLag(400);
+  EXPECT_FALSE(detector.tripped());
+  detector.ObserveWatermarkLag(500);
+  EXPECT_TRUE(detector.tripped());
+}
+
+TEST(OverloadDetectorTest, ZeroHighWatermarkTripsOnEveryQueueObservation) {
+  // The deterministic-test configuration: every ObserveQueue counts as
+  // overloaded, even on an empty queue.
+  OverloadConfig config = SloConfig();
+  config.shed.queue_high_watermark = 0.0;
+  OverloadDetector detector("stateful", config);
+  detector.ObserveQueue(0, 100);
+  EXPECT_TRUE(detector.tripped());
+  EXPECT_GT(detector.shed_probability(), 0.0);
+}
+
+}  // namespace
+}  // namespace spear
