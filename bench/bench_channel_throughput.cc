@@ -18,10 +18,13 @@
 /// per-tuple Push/Pop channel and is the baseline every other row is
 /// normalized against, so the micro-batching win is measured, not asserted.
 ///
-///   bench_channel_throughput [--tuples N] [--json FILE]
+///   bench_channel_throughput [--tuples N] [--json FILE] [--metrics]
 ///
 /// --json writes the full result grid as JSON (BENCH_channel.json keeps the
-/// committed baseline for the perf trajectory across PRs).
+/// committed baseline for the perf trajectory across PRs). --metrics runs
+/// the same grid with `.Metrics().Trace()` enabled, so the observability
+/// overhead on the hot channel path can be compared against the committed
+/// baseline (it must stay within run-to-run noise).
 
 namespace spear::bench {
 namespace {
@@ -49,10 +52,11 @@ struct Measurement {
 };
 
 Measurement RunOnce(const std::vector<Tuple>& tuples, int workers,
-                    std::size_t batch) {
+                    std::size_t batch, bool metrics) {
   TopologyBuilder builder;
   builder.Source(std::make_shared<VectorSpout>(tuples));
   builder.BatchMaxTuples(batch);
+  if (metrics) builder.Metrics().Trace();
   builder.Stage("forward", workers, Partitioner::Shuffle(),
                 [](int) { return std::make_unique<ForwardBolt>(); });
   builder.Stage("drain", workers, Partitioner::Shuffle(),
@@ -82,13 +86,17 @@ Measurement RunOnce(const std::vector<Tuple>& tuples, int workers,
 int Main(int argc, char** argv) {
   std::size_t num_tuples = 300'000;
   std::string json_path;
+  bool metrics = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--tuples") == 0 && a + 1 < argc) {
       num_tuples = static_cast<std::size_t>(std::stoull(argv[++a]));
     } else if (std::strcmp(argv[a], "--json") == 0 && a + 1 < argc) {
       json_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--metrics") == 0) {
+      metrics = true;
     } else {
-      std::cerr << "usage: " << argv[0] << " [--tuples N] [--json FILE]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--tuples N] [--json FILE] [--metrics]\n";
       return 2;
     }
   }
@@ -107,7 +115,8 @@ int Main(int argc, char** argv) {
   PrintTitle("Channel throughput",
              "2-stage shuffle (source -> forward -> drain), " +
                  FmtCount(num_tuples) + " tuples; batch=1 is the historical "
-                 "per-tuple channel baseline");
+                 "per-tuple channel baseline" +
+                 (metrics ? "; observability ON (.Metrics().Trace())" : ""));
   PrintRow({"workers/stage", "batch", "wall", "tuples/sec", "vs batch=1"});
 
   // Warm-up (thread creation, allocator), then best-of-5 per config with
@@ -115,13 +124,13 @@ int Main(int argc, char** argv) {
   // seconds, so consecutive reps of one config would all land in the same
   // window, while whole-grid sweeps decorrelate them.
   constexpr int kSweeps = 5;
-  RunOnce(tuples, worker_counts[0], batch_sizes[0]);
+  RunOnce(tuples, worker_counts[0], batch_sizes[0], metrics);
   std::vector<Measurement> results;
   for (int sweep = 0; sweep < kSweeps; ++sweep) {
     std::size_t slot = 0;
     for (int workers : worker_counts) {
       for (std::size_t batch : batch_sizes) {
-        const Measurement m = RunOnce(tuples, workers, batch);
+        const Measurement m = RunOnce(tuples, workers, batch, metrics);
         if (sweep == 0) {
           results.push_back(m);
         } else if (m.wall_ns < results[slot].wall_ns) {
@@ -152,6 +161,7 @@ int Main(int argc, char** argv) {
     std::ofstream out(json_path);
     out << "{\n  \"bench\": \"channel_throughput\",\n"
         << "  \"topology\": \"source -> forward -> drain (shuffle)\",\n"
+        << "  \"observability\": " << (metrics ? "true" : "false") << ",\n"
         << "  \"tuples\": " << num_tuples << ",\n  \"results\": [\n";
     for (std::size_t k = 0; k < results.size(); ++k) {
       const Measurement& m = results[k];

@@ -8,7 +8,13 @@
 # plain + ASan + TSan + UBSan in sequence (the TSan pass covers the
 # executor's supervision/recovery/overload machinery, where races would
 # otherwise only lose intermittently; the UBSan pass covers the lock-free
-# shed arithmetic).
+# shed arithmetic), plus the 20x stress rerun of the timing-sensitive
+# chaos tests (scripts/check_stress.sh) whose failures are intermittent
+# by nature.
+#
+# SPEAR_COVERAGE=1 builds instrumented (--coverage) in <build-dir>-cov,
+# runs the full suite there, and prints a gcovr line-coverage summary
+# (skipped with a note when gcovr is not installed).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
@@ -31,6 +37,25 @@ ctest --test-dir "$ROOT/$BUILD_DIR" -j"$(nproc)" --output-on-failure
 if [ "${SPEAR_CHECK_MATRIX:-0}" = "1" ]; then
   "$ROOT/scripts/check_tsan.sh" "$BUILD_DIR-tsan"
   "$ROOT/scripts/check_ubsan.sh" "$BUILD_DIR-ubsan"
+  # 20x rerun of the timing-sensitive chaos tests; reuses the TSan build
+  # the matrix just produced for its sanitized sweep.
+  "$ROOT/scripts/check_stress.sh" "$BUILD_DIR"
+fi
+
+if [ "${SPEAR_COVERAGE:-0}" = "1" ]; then
+  if command -v gcovr > /dev/null 2>&1; then
+    cmake -S "$ROOT" -B "$ROOT/$BUILD_DIR-cov" \
+      -DSPEAR_COVERAGE=ON -DSPEAR_BUILD_BENCHMARKS=OFF \
+      -DSPEAR_BUILD_EXAMPLES=OFF
+    cmake --build "$ROOT/$BUILD_DIR-cov" -j"$(nproc)"
+    ctest --test-dir "$ROOT/$BUILD_DIR-cov" -j"$(nproc)" --output-on-failure
+    echo "=== line coverage (gcovr) ==="
+    gcovr --root "$ROOT" --filter "$ROOT/src/" \
+      --object-directory "$ROOT/$BUILD_DIR-cov" \
+      --print-summary --sort-percentage | tail -40
+  else
+    echo "SPEAR_COVERAGE=1 set but gcovr not installed; skipping summary"
+  fi
 fi
 
 for bench in "$ROOT/$BUILD_DIR"/bench/bench_*; do

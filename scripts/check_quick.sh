@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Fast dev loop: build and run only the tests labeled `quick` (the
+# deterministic unit suites — common/stats/substrate/core/obs). Finishes
+# in seconds; run scripts/check.sh before pushing.
+# Usage: scripts/check_quick.sh [build-dir]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+if [ ! -d "$ROOT/$BUILD_DIR" ]; then
+  cmake -S "$ROOT" -B "$ROOT/$BUILD_DIR"
+fi
+cmake --build "$ROOT/$BUILD_DIR" -j"$(nproc)" --target \
+  spear_common_tests spear_stats_tests spear_substrate_tests \
+  spear_core_tests spear_obs_tests
+ctest --test-dir "$ROOT/$BUILD_DIR" -L quick -j"$(nproc)" --output-on-failure
+echo "quick suites clean"

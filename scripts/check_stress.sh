@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Reruns the timing-sensitive chaos suites (ctest label `stress`:
+# recovery + overload/watchdog) many times, because their failure mode is
+# intermittent — a single green run proves nothing about a race that
+# loses 5% of the time. Runs the plain build first, then the same sweep
+# under TSan (pass `--no-tsan` to skip it; the TSan build is slow).
+# Usage: scripts/check_stress.sh [build-dir] [repeats] [--no-tsan]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR=build
+REPEATS=20
+RUN_TSAN=1
+pos=0
+for arg in "$@"; do
+  if [ "$arg" = "--no-tsan" ]; then
+    RUN_TSAN=0
+    continue
+  fi
+  pos=$((pos + 1))
+  case $pos in
+    1) BUILD_DIR="$arg" ;;
+    2) REPEATS="$arg" ;;
+    *) echo "usage: $0 [build-dir] [repeats] [--no-tsan]" >&2; exit 2 ;;
+  esac
+done
+
+# The flake-prone tests: watchdog/deadline timing, crash-while-shedding
+# chaos, and lossy-recovery accounting. Kept as an explicit gtest filter
+# so one flaky *case* is rerun 20x, not just its whole suite once.
+STRESS_FILTER='*Watchdog*:*Chaos*:*Deadline*:*LossyRecovery*:*Shed*'
+
+run_sweep() {
+  local build="$1" tag="$2" fails=0
+  cmake --build "$ROOT/$build" -j"$(nproc)" --target \
+    spear_recovery_tests spear_overload_tests
+  for ((i = 1; i <= REPEATS; ++i)); do
+    for suite in spear_recovery_tests spear_overload_tests; do
+      if ! "$ROOT/$build/tests/$suite" \
+          --gtest_filter="$STRESS_FILTER" --gtest_brief=1 \
+          > /tmp/spear_stress_last.log 2>&1; then
+        fails=$((fails + 1))
+        echo "[$tag] FAIL rep $i $suite:"
+        tail -30 /tmp/spear_stress_last.log
+      fi
+    done
+  done
+  if [ "$fails" -ne 0 ]; then
+    echo "[$tag] stress: $fails failing rep(s) out of $REPEATS"
+    return 1
+  fi
+  echo "[$tag] stress: $REPEATS reps clean"
+}
+
+if [ ! -d "$ROOT/$BUILD_DIR" ]; then
+  cmake -S "$ROOT" -B "$ROOT/$BUILD_DIR"
+fi
+run_sweep "$BUILD_DIR" plain
+
+if [ "$RUN_TSAN" = "1" ]; then
+  cmake -S "$ROOT" -B "$ROOT/$BUILD_DIR-tsan" \
+    -DSPEAR_SANITIZE=thread \
+    -DSPEAR_BUILD_BENCHMARKS=OFF \
+    -DSPEAR_BUILD_EXAMPLES=OFF
+  export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+  run_sweep "$BUILD_DIR-tsan" tsan
+fi

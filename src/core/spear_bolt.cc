@@ -52,6 +52,10 @@ Status SpearBolt::Prepare(const BoltContext& ctx) {
       config_, value_extractor_, key_extractor_, storage_,
       "spear-bolt-" + std::to_string(ctx.task_id));
   manager_->SetMetrics(ctx.metrics);
+  manager_->SetObservability(
+      ctx.obs, ctx.tracer,
+      ctx.metrics != nullptr ? ctx.metrics->stage() : "stateful",
+      ctx.task_id);
   return Status::OK();
 }
 

@@ -216,6 +216,19 @@ SpearTopologyBuilder& SpearTopologyBuilder::WatermarkWatchdog(
   return *this;
 }
 
+SpearTopologyBuilder& SpearTopologyBuilder::Metrics(
+    obs::MetricsOptions options) {
+  obs_.metrics_enabled = true;
+  obs_.metrics = std::move(options);
+  return *this;
+}
+
+SpearTopologyBuilder& SpearTopologyBuilder::Trace(obs::TraceOptions options) {
+  obs_.trace_enabled = true;
+  obs_.trace = options;
+  return *this;
+}
+
 SpearTopologyBuilder& SpearTopologyBuilder::Engine(ExecutionEngine engine) {
   engine_ = engine;
   return *this;
@@ -299,6 +312,8 @@ Result<Topology> SpearTopologyBuilder::Build() const {
   if (overload_.WatchdogEnabled()) {
     builder.WatermarkWatchdog(overload_.watchdog_idle);
   }
+  if (obs_.metrics_enabled) builder.Metrics(obs_.metrics);
+  if (obs_.trace_enabled) builder.Trace(obs_.trace);
 
   if (has_time_stage_) {
     const std::size_t field = time_field_;

@@ -147,6 +147,17 @@ class SpearTopologyBuilder {
   /// abnormally (open windows emit degraded instead of hanging the DAG).
   SpearTopologyBuilder& WatermarkWatchdog(DurationMs idle_ms);
 
+  // ---- observability ------------------------------------------------------
+  /// Enables exported metrics (per-worker obs::MetricsRegistry shards;
+  /// final scrape in RunReport::observability; optional periodic sampler
+  /// via `options`). Off by default.
+  SpearTopologyBuilder& Metrics(obs::MetricsOptions options = {});
+
+  /// Enables per-window TraceSpan recording of the full SPEAr decision
+  /// lineage (arrivals, budget, ε̂_w terms, verdict; see obs/trace.h).
+  /// Off by default; `options` controls sampling and the per-worker cap.
+  SpearTopologyBuilder& Trace(obs::TraceOptions options = {});
+
   // ---- execution configuration ------------------------------------------
   SpearTopologyBuilder& Engine(ExecutionEngine engine);
   SpearTopologyBuilder& Parallelism(int workers);
@@ -184,6 +195,7 @@ class SpearTopologyBuilder {
   CheckpointConfig checkpoint_;
   std::size_t max_dead_letters_ = 1024;
   OverloadConfig overload_;
+  obs::ObsConfig obs_;
 };
 
 }  // namespace spear

@@ -129,6 +129,29 @@ std::size_t SpearWindowManager::budget_elements() const {
   return budget_controller_ ? budget_controller_->budget() : budget_elements_;
 }
 
+void SpearWindowManager::SetObservability(obs::MetricsShard* shard,
+                                          obs::WindowTracer* tracer,
+                                          std::string stage, int task) {
+  tracer_ = tracer;
+  obs_stage_ = std::move(stage);
+  obs_task_ = task;
+  if (shard == nullptr) return;
+  obs_windows_expedited_ = shard->GetCounter("windows_expedited");
+  obs_windows_exact_ = shard->GetCounter("windows_exact");
+  obs_windows_degraded_ = shard->GetCounter("windows_degraded");
+  obs_windows_recovered_ = shard->GetCounter("windows_recovered");
+  obs_windows_shed_loss_ = shard->GetCounter("windows_shed_loss");
+  obs_deadline_aborts_ = shard->GetCounter("deadline_aborts");
+  obs_tuples_seen_ = shard->GetCounter("tuples_seen");
+  obs_late_tuples_ = shard->GetCounter("late_tuples");
+  obs_spill_tuples_ = shard->GetCounter("spill_tuples");
+  obs_spill_failures_ = shard->GetCounter("spill_failures");
+  obs_window_ns_ = shard->GetHistogram("window_processing_ns",
+                                       obs::HistogramBuckets::LatencyNs());
+  obs_buffered_tuples_ = shard->GetGauge("buffered_tuples");
+  obs_budget_bytes_ = shard->GetGauge("budget_state_bytes");
+}
+
 SpearWindowManager::WindowState& SpearWindowManager::StateFor(
     std::int64_t window_start) {
   auto it = window_states_.find(window_start);
@@ -223,6 +246,7 @@ void SpearWindowManager::OnTupleShed(std::int64_t coord) {
     // late path — the tuple would not have joined any active window's
     // budget state anyway.
     ++decision_stats_.late_tuples;
+    if (obs_late_tuples_ != nullptr) obs_late_tuples_->Increment();
     for (auto& [start, state] : window_states_) {
       if (coord >= start && coord < start + config_.window.range) {
         state.anomalous = true;
@@ -268,6 +292,7 @@ void SpearWindowManager::NoteStreamTruncation() {
 void SpearWindowManager::OnTuple(std::int64_t coord, Tuple tuple) {
   if (coord < last_watermark_) {
     ++decision_stats_.late_tuples;
+    if (obs_late_tuples_ != nullptr) obs_late_tuples_->Increment();
     // Still-active windows that should have contained this tuple now hold
     // incomplete state: flag the delivery anomaly (Sec. 4.1).
     for (auto& [start, state] : window_states_) {
@@ -278,6 +303,7 @@ void SpearWindowManager::OnTuple(std::int64_t coord, Tuple tuple) {
     return;
   }
   ++decision_stats_.tuples_seen;
+  if (obs_tuples_seen_ != nullptr) obs_tuples_seen_->Increment();
   if (!saw_any_tuple_) {
     next_window_start_ = FirstWindowStartFor(config_.window, coord);
     saw_any_tuple_ = true;
@@ -307,11 +333,14 @@ void SpearWindowManager::OnTuple(std::int64_t coord, Tuple tuple) {
         spill_key_ + "/" + std::to_string(spill_seq_), payload);
     if (stored.ok()) {
       spilled_coords_.push_back(coord);
+      if (obs_spill_tuples_ != nullptr) obs_spill_tuples_->Increment();
       return;
     }
     // S stayed unavailable after retries: keep the tuple in memory past
     // the budget rather than lose it — degraded custody, not data loss.
     ++spill_failures_;
+    if (metrics_ != nullptr) metrics_->AddSpillFailures(1);
+    if (obs_spill_failures_ != nullptr) obs_spill_failures_->Increment();
     payload.set_event_time(payload.PopField().AsInt64());
     buffer_.push_back(Entry{coord, std::move(payload)});
     return;
@@ -372,7 +401,9 @@ Result<ScalarEstimate> SpearWindowManager::EstimateScalarForState(
   // then stay centered under uniform shedding (count+shed is exact; sum
   // scales the sample mean to the full population), and any non-uniform
   // shedding bias is covered by the ε̂_w shed inflation in DecideWindow.
-  const std::uint64_t population = state.count + state.shed;
+  const std::uint64_t population = ignore_loss_accounting_
+                                       ? state.count
+                                       : state.count + state.shed;
   if (config_.custom_estimator) {
     return config_.custom_estimator(state.sample->sample(), state.stats,
                                     population, config_.accuracy);
@@ -528,7 +559,9 @@ void SpearWindowManager::CorruptBudgetForTesting() {
 Result<WindowResult> SpearWindowManager::MakeDegradedResult(
     const WindowBounds& bounds, WindowState* state) {
   const double inflate =
-      LossInflation(state->count, state->lost + state->shed);
+      ignore_loss_accounting_
+          ? 0.0
+          : LossInflation(state->count, state->lost + state->shed);
   WindowResult result;
   result.bounds = bounds;
   result.window_size = state->count + state->lost + state->shed;
@@ -608,7 +641,9 @@ Result<WindowResult> SpearWindowManager::DecideWindow(
   // the recovery-loss + shed ratio still meets the spec — the AF-Stream
   // contract folded into the paper's expedite test.
   const double inflate =
-      LossInflation(state->count, state->lost + state->shed);
+      ignore_loss_accounting_
+          ? 0.0
+          : LossInflation(state->count, state->lost + state->shed);
   const auto meets_spec = [&](double epsilon_hat) {
     return inflate == 0.0 ||
            epsilon_hat + inflate <= config_.accuracy.epsilon;
@@ -754,10 +789,13 @@ Result<std::vector<WindowResult>> SpearWindowManager::OnWatermark(
       bool needs_scan = false;
       bool needs_exact = false;
       bool degraded = false;
+      bool deadline_aborted = false;
 
       std::int64_t window_ns = 0;
       WindowResult result;
       const bool recovered_window = state_it->second.recovered;
+      // UnspillAll() clears spilled_coords_, so capture participation now.
+      const bool had_spill = !spilled_coords_.empty();
       {
         ScopedTimerNs timer(&window_ns);
         // The grouped accept path scans the buffer; make sure spilled
@@ -833,6 +871,7 @@ Result<std::vector<WindowResult>> SpearWindowManager::OnWatermark(
                 SPEAR_ASSIGN_OR_RETURN(
                     result, MakeDegradedResult(bounds, &state_it->second));
                 degraded = true;
+                deadline_aborted = true;
                 ++decision_stats_.deadline_aborts;
                 if (metrics_ != nullptr) metrics_->AddDeadlineAborts(1);
               } else {
@@ -842,6 +881,7 @@ Result<std::vector<WindowResult>> SpearWindowManager::OnWatermark(
                   SPEAR_ASSIGN_OR_RETURN(
                       result, MakeDegradedResult(bounds, &state_it->second));
                   degraded = true;
+                  deadline_aborted = true;
                   ++decision_stats_.deadline_aborts;
                   if (metrics_ != nullptr) metrics_->AddDeadlineAborts(1);
                 } else {
@@ -880,6 +920,55 @@ Result<std::vector<WindowResult>> SpearWindowManager::OnWatermark(
       } else {
         ++decision_stats_.windows_expedited;
       }
+      if (obs_windows_expedited_ != nullptr) {
+        if (degraded) {
+          obs_windows_degraded_->Increment();
+        } else if (needs_exact) {
+          obs_windows_exact_->Increment();
+        } else {
+          obs_windows_expedited_->Increment();
+        }
+        if (recovered_window) obs_windows_recovered_->Increment();
+        if (state_it->second.shed > 0) obs_windows_shed_loss_->Increment();
+        if (deadline_aborted) obs_deadline_aborts_->Increment();
+        obs_window_ns_->Observe(window_ns);
+      }
+      if (tracer_ != nullptr) {
+        const WindowState& ws = state_it->second;
+        obs::TraceSpan span;
+        span.stage = obs_stage_;
+        span.task = obs_task_;
+        span.window_start = bounds.start;
+        span.window_end = bounds.end;
+        using Verdict = obs::TraceSpan::Verdict;
+        span.verdict = degraded      ? Verdict::kDegraded
+                       : needs_exact ? Verdict::kExact
+                                     : Verdict::kExpedited;
+        span.approximate = result.approximate;
+        span.arrivals = ws.count + ws.lost + ws.shed;
+        span.processed = result.tuples_processed;
+        span.shed = ws.shed;
+        span.lost = ws.lost;
+        span.budget = ws.budget;
+        span.epsilon_spec = config_.accuracy.epsilon;
+        span.alpha_spec = config_.accuracy.confidence;
+        if (result.approximate) {
+          span.epsilon_hat = result.estimated_error;
+          span.loss_inflation =
+              ignore_loss_accounting_
+                  ? 0.0
+                  : LossInflation(ws.count, ws.lost + ws.shed);
+          span.epsilon_sampling =
+              std::max(0.0, span.epsilon_hat - span.loss_inflation);
+        }
+        span.recovered = recovered_window;
+        span.truncated = ws.truncated;
+        span.spilled = had_spill;
+        span.deadline_abort = deadline_aborted;
+        span.processing_ns = window_ns;
+        span.emitted_at_ns = NowNs();
+        tracer_->Record(span);
+      }
       if (budget_controller_) {
         // A degraded window counts as a fallback for budget adaptation: a
         // bigger sample makes the next degradation less inaccurate.
@@ -908,6 +997,10 @@ Result<std::vector<WindowResult>> SpearWindowManager::OnWatermark(
   // the paper fuses with this scan IS charged to that window, inside
   // DecideWindow.)
   EvictExpired();
+  if (obs_buffered_tuples_ != nullptr) {
+    obs_buffered_tuples_->Set(static_cast<double>(BufferedTuples()));
+    obs_budget_bytes_->Set(static_cast<double>(BudgetMemoryBytes()));
+  }
   return out;
 }
 

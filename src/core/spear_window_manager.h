@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "core/spear_config.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ops/exact_operator.h"
 #include "ops/window_result.h"
 #include "runtime/metrics.h"
@@ -138,6 +140,21 @@ class SpearWindowManager {
   /// Wires the owning worker's metrics (fault counters: storage retries,
   /// recoveries, degraded windows). Optional; null disables reporting.
   void SetMetrics(WorkerMetrics* metrics) { metrics_ = metrics; }
+
+  /// Wires the observable layer: the worker's metrics shard (exported
+  /// counters/histograms/gauges) and/or the per-window trace sink. Either
+  /// may be null; `stage`/`task` label the emitted spans. Instruments are
+  /// resolved here once, so the per-window updates stay lock-free.
+  void SetObservability(obs::MetricsShard* shard, obs::WindowTracer* tracer,
+                        std::string stage, int task);
+
+  /// Test hook for the accuracy-audit guard: drops the loss accounting —
+  /// shed/lost tuples stop inflating ε̂_w and stop rescaling count/sum
+  /// estimates to the full population. Estimates then systematically
+  /// overshoot their accuracy claim under shedding, which the statistical
+  /// audit must detect (proving the audit would catch a real regression
+  /// in the ε̂_w arithmetic).
+  void IgnoreLossAccountingForTesting() { ignore_loss_accounting_ = true; }
 
   /// Spill attempts that stayed transiently failed after retries; the
   /// affected tuples were kept in memory past the budget instead.
@@ -288,6 +305,25 @@ class SpearWindowManager {
 
   WorkerMetrics* metrics_ = nullptr;
   std::uint64_t spill_failures_ = 0;
+  bool ignore_loss_accounting_ = false;
+
+  // Observability (all null when the topology runs unobserved).
+  obs::WindowTracer* tracer_ = nullptr;
+  std::string obs_stage_;
+  int obs_task_ = 0;
+  obs::Counter* obs_windows_expedited_ = nullptr;
+  obs::Counter* obs_windows_exact_ = nullptr;
+  obs::Counter* obs_windows_degraded_ = nullptr;
+  obs::Counter* obs_windows_recovered_ = nullptr;
+  obs::Counter* obs_windows_shed_loss_ = nullptr;
+  obs::Counter* obs_deadline_aborts_ = nullptr;
+  obs::Counter* obs_tuples_seen_ = nullptr;
+  obs::Counter* obs_late_tuples_ = nullptr;
+  obs::Counter* obs_spill_tuples_ = nullptr;
+  obs::Counter* obs_spill_failures_ = nullptr;
+  obs::Histogram* obs_window_ns_ = nullptr;
+  obs::Gauge* obs_buffered_tuples_ = nullptr;
+  obs::Gauge* obs_budget_bytes_ = nullptr;
 
   DecisionStats decision_stats_;
 };

@@ -1,0 +1,159 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace spear::obs {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      v > -1e15 && v < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64,
+                  static_cast<std::int64_t>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+  }
+  return buf;
+}
+
+std::string Labels(const MetricSample& s, const std::string& extra = "") {
+  std::ostringstream os;
+  os << "{stage=\"" << s.stage << "\",task=\"" << s.task << "\"";
+  if (!extra.empty()) os << "," << extra;
+  os << "}";
+  return os.str();
+}
+
+const char* KindName(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter:
+      return "counter";
+    case MetricSample::Kind::kGauge:
+      return "gauge";
+    case MetricSample::Kind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string PrometheusText(const std::vector<MetricSample>& samples) {
+  std::ostringstream os;
+  std::set<std::string> typed;
+  for (const MetricSample& s : samples) {
+    const std::string full = "spear_" + s.name;
+    if (typed.insert(full).second) {
+      os << "# HELP " << full << " " << s.name << "\n";
+      os << "# TYPE " << full << " " << KindName(s.kind) << "\n";
+    }
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < s.bucket_bounds.size(); ++i) {
+        cumulative += i < s.bucket_counts.size() ? s.bucket_counts[i] : 0;
+        os << full << "_bucket"
+           << Labels(s, "le=\"" + std::to_string(s.bucket_bounds[i]) + "\"")
+           << " " << cumulative << "\n";
+      }
+      cumulative += s.bucket_counts.empty() ? 0 : s.bucket_counts.back();
+      os << full << "_bucket" << Labels(s, "le=\"+Inf\"") << " " << cumulative
+         << "\n";
+      os << full << "_sum" << Labels(s) << " " << FormatDouble(s.hist_sum)
+         << "\n";
+      os << full << "_count" << Labels(s) << " " << s.hist_count << "\n";
+    } else {
+      os << full << Labels(s) << " " << FormatDouble(s.value) << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsJsonLines(const std::vector<MetricSample>& samples) {
+  std::ostringstream os;
+  for (const MetricSample& s : samples) {
+    os << "{\"name\":\"" << JsonEscape(s.name) << "\",\"stage\":\""
+       << JsonEscape(s.stage) << "\",\"task\":" << s.task << ",\"kind\":\""
+       << KindName(s.kind) << "\"";
+    if (s.kind == MetricSample::Kind::kHistogram) {
+      os << ",\"count\":" << s.hist_count
+         << ",\"sum\":" << FormatDouble(s.hist_sum) << ",\"buckets\":[";
+      for (std::size_t i = 0; i < s.bucket_bounds.size(); ++i) {
+        if (i > 0) os << ",";
+        os << "{\"le\":" << s.bucket_bounds[i] << ",\"n\":"
+           << (i < s.bucket_counts.size() ? s.bucket_counts[i] : 0) << "}";
+      }
+      if (!s.bucket_bounds.empty()) os << ",";
+      os << "{\"le\":null,\"n\":"
+         << (s.bucket_counts.empty() ? 0 : s.bucket_counts.back()) << "}]";
+    } else {
+      os << ",\"value\":" << FormatDouble(s.value);
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+std::string SpansJsonLines(const std::vector<TraceSpan>& spans) {
+  std::ostringstream os;
+  for (const TraceSpan& sp : spans) {
+    os << "{\"stage\":\"" << JsonEscape(sp.stage) << "\",\"task\":" << sp.task
+       << ",\"window_start\":" << sp.window_start
+       << ",\"window_end\":" << sp.window_end << ",\"verdict\":\""
+       << VerdictName(sp.verdict) << "\""
+       << ",\"approximate\":" << (sp.approximate ? "true" : "false")
+       << ",\"arrivals\":" << sp.arrivals << ",\"processed\":" << sp.processed
+       << ",\"shed\":" << sp.shed << ",\"lost\":" << sp.lost
+       << ",\"budget\":" << sp.budget
+       << ",\"epsilon_spec\":" << FormatDouble(sp.epsilon_spec)
+       << ",\"alpha_spec\":" << FormatDouble(sp.alpha_spec)
+       << ",\"epsilon_sampling\":" << FormatDouble(sp.epsilon_sampling)
+       << ",\"loss_inflation\":" << FormatDouble(sp.loss_inflation)
+       << ",\"epsilon_hat\":" << FormatDouble(sp.epsilon_hat)
+       << ",\"recovered\":" << (sp.recovered ? "true" : "false")
+       << ",\"truncated\":" << (sp.truncated ? "true" : "false")
+       << ",\"spilled\":" << (sp.spilled ? "true" : "false")
+       << ",\"deadline_abort\":" << (sp.deadline_abort ? "true" : "false")
+       << ",\"processing_ns\":" << sp.processing_ns
+       << ",\"emitted_at_ns\":" << sp.emitted_at_ns << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace spear::obs

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+/// \file obs/export.h
+/// Scrape renderers. Two formats:
+///
+/// * Prometheus text exposition (v0.0.4): every metric name is prefixed
+///   `spear_`, labelled {stage, task}; histograms render cumulative
+///   `_bucket{le=...}` series plus `_sum`/`_count` per convention.
+/// * JSON lines: one self-contained JSON object per line, for both
+///   metric samples and trace spans — greppable, appendable, and easy to
+///   round-trip in tests.
+
+namespace spear::obs {
+
+/// Renders samples in Prometheus text exposition format.
+std::string PrometheusText(const std::vector<MetricSample>& samples);
+
+/// Renders samples as JSON lines (one object per sample).
+std::string MetricsJsonLines(const std::vector<MetricSample>& samples);
+
+/// Renders spans as JSON lines (one object per span).
+std::string SpansJsonLines(const std::vector<TraceSpan>& spans);
+
+/// Escapes a string for embedding in a JSON string literal (no quotes).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace spear::obs

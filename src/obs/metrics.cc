@@ -1,0 +1,142 @@
+#include "obs/metrics.h"
+
+namespace spear::obs {
+
+HistogramBuckets HistogramBuckets::LatencyNs() {
+  return HistogramBuckets{{1'000,
+                           2'000,
+                           5'000,
+                           10'000,
+                           20'000,
+                           50'000,
+                           100'000,
+                           200'000,
+                           500'000,
+                           1'000'000,
+                           5'000'000,
+                           10'000'000,
+                           50'000'000,
+                           100'000'000,
+                           1'000'000'000,
+                           10'000'000'000}};
+}
+
+HistogramBuckets HistogramBuckets::Counts() {
+  return HistogramBuckets{
+      {1, 2, 5, 10, 20, 50, 100, 200, 500, 1'000, 10'000, 100'000, 1'000'000}};
+}
+
+Histogram::Histogram(HistogramBuckets buckets)
+    : bounds_(std::move(buckets.bounds)),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::Observe(std::int64_t v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Counter* MetricsShard::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& n : counters_) {
+    if (n.name == name) return n.instrument.get();
+  }
+  counters_.push_back(Named<Counter>{name, std::make_unique<Counter>()});
+  return counters_.back().instrument.get();
+}
+
+Gauge* MetricsShard::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& n : gauges_) {
+    if (n.name == name) return n.instrument.get();
+  }
+  gauges_.push_back(Named<Gauge>{name, std::make_unique<Gauge>()});
+  return gauges_.back().instrument.get();
+}
+
+Histogram* MetricsShard::GetHistogram(const std::string& name,
+                                      const HistogramBuckets& buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& n : histograms_) {
+    if (n.name == name) return n.instrument.get();
+  }
+  histograms_.push_back(
+      Named<Histogram>{name, std::make_unique<Histogram>(buckets)});
+  return histograms_.back().instrument.get();
+}
+
+void MetricsShard::Collect(std::vector<MetricSample>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& n : counters_) {
+    MetricSample s;
+    s.name = n.name;
+    s.stage = stage_;
+    s.task = task_;
+    s.kind = MetricSample::Kind::kCounter;
+    s.value = static_cast<double>(n.instrument->value());
+    out->push_back(std::move(s));
+  }
+  for (const auto& n : gauges_) {
+    MetricSample s;
+    s.name = n.name;
+    s.stage = stage_;
+    s.task = task_;
+    s.kind = MetricSample::Kind::kGauge;
+    s.value = n.instrument->value();
+    out->push_back(std::move(s));
+  }
+  for (const auto& n : histograms_) {
+    MetricSample s;
+    s.name = n.name;
+    s.stage = stage_;
+    s.task = task_;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.bucket_bounds = n.instrument->bounds();
+    s.bucket_counts = n.instrument->bucket_counts();
+    s.hist_count = n.instrument->count();
+    s.hist_sum = static_cast<double>(n.instrument->sum());
+    out->push_back(std::move(s));
+  }
+}
+
+MetricsShard* MetricsRegistry::GetShard(const std::string& stage, int task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& shard : shards_) {
+    if (shard.stage() == stage && shard.task() == task) return &shard;
+  }
+  shards_.emplace_back(stage, task);
+  return &shards_.back();
+}
+
+std::vector<MetricSample> MetricsRegistry::Collect() const {
+  std::vector<MetricSample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) shard.Collect(&out);
+  return out;
+}
+
+std::uint64_t MetricsRegistry::CounterTotal(const std::string& name) const {
+  std::uint64_t total = 0;
+  for (const MetricSample& s : Collect()) {
+    if (s.kind == MetricSample::Kind::kCounter && s.name == name) {
+      total += static_cast<std::uint64_t>(s.value);
+    }
+  }
+  return total;
+}
+
+}  // namespace spear::obs

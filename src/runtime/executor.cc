@@ -143,13 +143,15 @@ class Executor::StageEmitter : public Emitter {
  public:
   StageEmitter(int my_task, const Partitioner* next_partitioner,
                std::vector<ElementQueue*> next_queues, std::size_t batch_max,
-               WorkerMetrics* metrics, std::vector<Tuple>* local_output)
+               WorkerMetrics* metrics, std::vector<Tuple>* local_output,
+               obs::Counter* obs_backpressure_ns = nullptr)
       : my_task_(my_task),
         next_partitioner_(next_partitioner),
         next_queues_(std::move(next_queues)),
         batch_max_(std::max<std::size_t>(batch_max, 1)),
         metrics_(metrics),
-        local_output_(local_output) {
+        local_output_(local_output),
+        obs_backpressure_ns_(obs_backpressure_ns) {
     buffers_.resize(next_queues_.size());
     for (auto& buffer : buffers_) buffer.reserve(batch_max_);
   }
@@ -204,6 +206,9 @@ class Executor::StageEmitter : public Emitter {
     if (blocked_ns > 0 && metrics_ != nullptr) {
       metrics_->AddBackpressureNs(blocked_ns);
     }
+    if (blocked_ns > 0 && obs_backpressure_ns_ != nullptr) {
+      obs_backpressure_ns_->Add(static_cast<std::uint64_t>(blocked_ns));
+    }
     // The vector's storage was handed to the queue as a whole batch node;
     // start a fresh allocation for the next batch.
     buffer.reserve(batch_max_);
@@ -215,6 +220,7 @@ class Executor::StageEmitter : public Emitter {
   const std::size_t batch_max_;
   WorkerMetrics* metrics_;
   std::vector<Tuple>* local_output_;
+  obs::Counter* obs_backpressure_ns_;
   std::vector<std::vector<Element>> buffers_;
   std::uint64_t rr_state_ = 0;
 };
@@ -256,6 +262,19 @@ Result<RunReport> Executor::Run() {
           topology_.stages[i].name, topology_.overload);
     }
   }
+  // --- Observability wiring ----------------------------------------------
+  // Null unless `.Metrics()` / `.Trace()` were requested: an unobserved
+  // topology pays pointer checks at wiring time and nothing on the hot
+  // path. Shards/tracers are created here (single-threaded) so workers
+  // never contend on registration.
+  const obs::ObsConfig& obs_cfg = topology_.obs;
+  std::unique_ptr<obs::MetricsRegistry> obs_registry;
+  if (obs_cfg.metrics_enabled) {
+    obs_registry = std::make_unique<obs::MetricsRegistry>();
+  }
+  std::vector<std::unique_ptr<obs::WindowTracer>> tracers;
+  obs::PeriodicSampler sampler(obs_registry.get(), obs_cfg.metrics);
+
   // The source's emitter is not a registered worker (the registry's size
   // is observable by callers); its back-pressure counters are folded into
   // report.overload after the join.
@@ -351,6 +370,14 @@ Result<RunReport> Executor::Run() {
 
     for (int task = 0; task < stage.parallelism; ++task) {
       WorkerMetrics* metrics = report.metrics.Register(stage.name, task);
+      obs::MetricsShard* obs_shard =
+          obs_registry != nullptr ? obs_registry->GetShard(stage.name, task)
+                                  : nullptr;
+      obs::WindowTracer* tracer = nullptr;
+      if (obs_cfg.trace_enabled) {
+        tracers.push_back(std::make_unique<obs::WindowTracer>(obs_cfg.trace));
+        tracer = tracers.back().get();
+      }
       ElementQueue* in_queue = queues[i][static_cast<std::size_t>(task)].get();
       std::vector<ElementQueue*> next_queues =
           i + 1 < num_stages ? queues_of_stage(i + 1)
@@ -362,11 +389,35 @@ Result<RunReport> Executor::Run() {
           &worker_dead_letters[worker_index++];
 
       threads.emplace_back([&, i, task, metrics, in_queue, next_partitioner,
-                            sink_output, dead_letters,
+                            sink_output, dead_letters, obs_shard, tracer,
                             next_queues = std::move(next_queues)]() mutable {
         const StageSpec& my_stage = topology_.stages[i];
+        // Resolve this worker's instruments once; updates are lock-free.
+        obs::Counter* obs_backpressure = nullptr;
+        obs::Counter* obs_tuples_in = nullptr;
+        obs::Counter* obs_batches = nullptr;
+        obs::Counter* obs_snapshots = nullptr;
+        obs::Counter* obs_snapshot_bytes = nullptr;
+        obs::Counter* obs_restores = nullptr;
+        obs::Gauge* obs_queue_depth = nullptr;
+        obs::Gauge* obs_shed_probability = nullptr;
+        if (obs_shard != nullptr) {
+          obs_backpressure = obs_shard->GetCounter("backpressure_wait_ns");
+          obs_tuples_in = obs_shard->GetCounter("tuples_in");
+          obs_batches = obs_shard->GetCounter("batches_popped");
+          obs_snapshots = obs_shard->GetCounter("checkpoint_snapshots");
+          obs_snapshot_bytes = obs_shard->GetCounter("checkpoint_bytes");
+          obs_restores = obs_shard->GetCounter("checkpoint_restores");
+          obs_queue_depth = obs_shard->GetGauge("queue_depth");
+          obs_shard->GetGauge("queue_capacity")
+              ->Set(static_cast<double>(in_queue->capacity()));
+          if (detectors[i] != nullptr) {
+            obs_shed_probability = obs_shard->GetGauge("shed_probability");
+          }
+        }
         StageEmitter emitter(task, next_partitioner, std::move(next_queues),
-                             batch_max, metrics, sink_output);
+                             batch_max, metrics, sink_output,
+                             obs_backpressure);
 
         std::unique_ptr<Bolt> bolt = my_stage.bolt_factory(task);
         if (bolt == nullptr) {
@@ -380,6 +431,8 @@ Result<RunReport> Executor::Run() {
         ctx.parallelism = my_stage.parallelism;
         ctx.metrics = metrics;
         ctx.overload = detector;
+        ctx.obs = obs_shard;
+        ctx.tracer = tracer;
         if (Status s = GuardedBoltCall(
                 StatusCode::kInternal, "bolt prepare",
                 [&] { return bolt->Prepare(ctx); });
@@ -432,6 +485,7 @@ Result<RunReport> Executor::Run() {
           }
           ++restarts;
           metrics->AddWorkerRestarts(1);
+          if (obs_restores != nullptr) obs_restores->Increment();
           bolt = my_stage.bolt_factory(task);
           if (bolt == nullptr) {
             return Status::Internal("stage '" + my_stage.name +
@@ -457,13 +511,6 @@ Result<RunReport> Executor::Run() {
             }
           } else if (!snap.status().IsNotFound()) {
             return snap.status();
-          }
-          // Tuples consumed since the snapshot that fell off the bounded
-          // log are unrecoverable; fold them into the affected windows'
-          // error estimates instead of silently ignoring them.
-          if (consumed_since_snapshot > replay_log.size()) {
-            cp->NoteRecoveryLoss(consumed_since_snapshot -
-                                 replay_log.size());
           }
           // Catch back up. The dedup emitter is armed so windows that
           // were already delivered before the crash are suppressed —
@@ -492,11 +539,24 @@ Result<RunReport> Executor::Run() {
             }
           }
           dedup.Disarm();
+          // Tuples consumed since the snapshot that fell off the bounded
+          // log are unrecoverable; fold them into the affected windows'
+          // error estimates instead of silently ignoring them. This must
+          // happen AFTER the catch-up: during replay the "next window
+          // that opens" is an already-delivered one whose re-emission the
+          // dedup suppresses, so loss noted before replay could vanish
+          // from the output. Noted here, it lands on the windows still
+          // active across the crash (or the next genuinely new window).
+          if (catch_up.ok() && consumed_since_snapshot > replay_log.size()) {
+            cp->NoteRecoveryLoss(consumed_since_snapshot -
+                                 replay_log.size());
+          }
           return catch_up;
         };
 
         std::vector<Element> batch;
         batch.reserve(batch_max);
+        std::uint32_t obs_gauge_tick = 0;
 
         while (!failed.load(std::memory_order_relaxed)) {
           batch.clear();
@@ -514,6 +574,16 @@ Result<RunReport> Executor::Run() {
             // ramped shed probability for these very tuples.
             detector->ObserveQueue(in_queue->size() + batch.size(),
                                    in_queue->capacity());
+          }
+          // Decimated 64x: a gauge is a point-in-time sample scraped at
+          // ms-scale, while in_queue->size() takes the queue mutex — a
+          // per-batch update would double lock traffic at batch size 1.
+          if (obs_queue_depth != nullptr && (obs_gauge_tick++ & 63u) == 0) {
+            obs_queue_depth->Set(
+                static_cast<double>(in_queue->size() + batch.size()));
+            if (obs_shed_probability != nullptr) {
+              obs_shed_probability->Set(detector->shed_probability());
+            }
           }
 
           // Drain the popped batch locally; metrics updates are batched —
@@ -665,6 +735,11 @@ Result<RunReport> Executor::Run() {
                             // re-emit: forget their keys.
                             dedup.ClearSeen();
                             metrics->AddSnapshots(1);
+                            if (obs_snapshots != nullptr) {
+                              obs_snapshots->Increment();
+                              obs_snapshot_bytes->Add(
+                                  snapshot.payload.size());
+                            }
                           }
                           // A failed Put leaves the previous snapshot
                           // (and the longer replay log) in charge — the
@@ -722,6 +797,10 @@ Result<RunReport> Executor::Run() {
 
           metrics->AddTuplesIn(batch_tuples);
           metrics->AddBusyNs(batch_busy);
+          if (obs_tuples_in != nullptr) {
+            obs_tuples_in->Add(batch_tuples);
+            obs_batches->Increment();
+          }
           if (!status.ok()) {
             record_error(status);
             return;
@@ -733,10 +812,21 @@ Result<RunReport> Executor::Run() {
   }
 
   // --- Source thread ------------------------------------------------------
-  threads.emplace_back([&]() {
+  obs::MetricsShard* source_shard =
+      obs_registry != nullptr ? obs_registry->GetShard("source", 0) : nullptr;
+  threads.emplace_back([&, source_shard]() {
+    obs::Counter* obs_emitted = nullptr;
+    obs::Counter* obs_source_backpressure = nullptr;
+    obs::Gauge* obs_watermark = nullptr;
+    if (source_shard != nullptr) {
+      obs_emitted = source_shard->GetCounter("tuples_emitted");
+      obs_source_backpressure =
+          source_shard->GetCounter("backpressure_wait_ns");
+      obs_watermark = source_shard->GetGauge("watermark_ms");
+    }
     StageEmitter emitter(0, &topology_.stages[0].input_partitioner,
                          queues_of_stage(0), batch_max, &source_metrics,
-                         nullptr);
+                         nullptr, obs_source_backpressure);
     ReplayableSpout* const replay_source =
         topology_.source.spout->replayable();
     // With interval <= 0 the generator is never consulted: only the final
@@ -757,6 +847,7 @@ Result<RunReport> Executor::Run() {
         source_offset.store(replay_source->ReplayOffset(),
                             std::memory_order_relaxed);
       }
+      std::uint64_t emitted_this_batch = 0;
       for (Tuple& tuple : pulled) {
         // Re-check per tuple: once the watchdog closed the stream, every
         // further emission would land behind its flush marker and be
@@ -765,12 +856,17 @@ Result<RunReport> Executor::Run() {
         if (source_closed.load(std::memory_order_acquire)) break;
         const Timestamp t = tuple.event_time();
         emitter.Emit(std::move(tuple));
+        ++emitted_this_batch;
         if (topology_.source.watermark_interval > 0 && generator.Observe(t)) {
           const Timestamp wm = generator.current();
           source_wm.store(wm, std::memory_order_relaxed);
+          if (obs_watermark != nullptr) {
+            obs_watermark->Set(static_cast<double>(wm));
+          }
           emitter.Broadcast(Element::MakeWatermark(wm, 0));
         }
       }
+      if (obs_emitted != nullptr) obs_emitted->Add(emitted_this_batch);
     }
     // Final watermark releases every buffered window, then flush — unless
     // the watchdog already closed the stream on this source's behalf.
@@ -841,9 +937,12 @@ Result<RunReport> Executor::Run() {
     });
   }
 
+  sampler.Start();
+
   for (std::thread& t : threads) t.join();
   watchdog_stop.store(true, std::memory_order_release);
   if (watchdog_thread.joinable()) watchdog_thread.join();
+  sampler.Stop();  // performs the final periodic scrape, if armed
 
   if (failed.load()) {
     std::lock_guard<std::mutex> lock(error_mutex);
@@ -885,6 +984,21 @@ Result<RunReport> Executor::Run() {
   report.overload.Accumulate(source_metrics.overload());
   report.overload.watchdog_advances +=
       watchdog_advances.load(std::memory_order_relaxed);
+  // Final observability scrape into the report: every metric series and
+  // every retained trace span, merged across worker shards.
+  report.observability.metrics_enabled = obs_cfg.metrics_enabled;
+  report.observability.trace_enabled = obs_cfg.trace_enabled;
+  if (obs_registry != nullptr) {
+    report.observability.metrics = obs_registry->Collect();
+    report.observability.scrapes = sampler.scrapes();
+  }
+  for (const auto& tracer : tracers) {
+    std::vector<obs::TraceSpan> spans = tracer->Snapshot();
+    std::move(spans.begin(), spans.end(),
+              std::back_inserter(report.observability.spans));
+    report.observability.spans_sampled_out += tracer->sampled_out();
+    report.observability.spans_dropped += tracer->dropped();
+  }
   return report;
 }
 

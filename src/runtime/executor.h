@@ -8,6 +8,7 @@
 
 #include "common/blocking_queue.h"
 #include "common/result.h"
+#include "obs/observability.h"
 #include "runtime/metrics.h"
 #include "runtime/topology.h"
 
@@ -79,6 +80,10 @@ struct RunReport {
   /// Aggregated overload-control counters (shedding, deadline aborts,
   /// watchdog interventions, back-pressure stall time).
   OverloadStats overload;
+  /// Final observability scrape: exported metric samples and per-window
+  /// trace spans. Empty (enabled flags false) unless the topology was
+  /// built with `.Metrics()` / `.Trace()`.
+  obs::ObservabilityReport observability;
 };
 
 /// \brief Runs one topology to completion. Single-use.

@@ -46,6 +46,9 @@ struct FaultStats {
   std::uint64_t worker_restarts = 0;
   /// Checkpoint snapshots taken at watermark boundaries.
   std::uint64_t snapshots = 0;
+  /// Spill attempts that exhausted their storage retries (the window is
+  /// later emitted degraded or exact-from-partial-state).
+  std::uint64_t spill_failures = 0;
 
   void Accumulate(const FaultStats& other) {
     injected += other.injected;
@@ -55,6 +58,7 @@ struct FaultStats {
     degraded_windows += other.degraded_windows;
     worker_restarts += other.worker_restarts;
     snapshots += other.snapshots;
+    spill_failures += other.spill_failures;
   }
 };
 
@@ -100,6 +104,7 @@ class WorkerMetrics {
   void AddDegradedWindows(std::uint64_t n) { faults_.degraded_windows += n; }
   void AddWorkerRestarts(std::uint64_t n) { faults_.worker_restarts += n; }
   void AddSnapshots(std::uint64_t n) { faults_.snapshots += n; }
+  void AddSpillFailures(std::uint64_t n) { faults_.spill_failures += n; }
   void AddTuplesShed(std::uint64_t n) { overload_.tuples_shed += n; }
   void AddWindowsShedLoss(std::uint64_t n) { overload_.windows_shed_loss += n; }
   void AddDeadlineAborts(std::uint64_t n) { overload_.deadline_aborts += n; }

@@ -23,6 +23,11 @@ class Checkpointable;    // checkpoint/checkpointable.h
 class ReplayableSpout;   // checkpoint/checkpointable.h
 class OverloadDetector;  // runtime/overload.h
 
+namespace obs {
+class MetricsShard;  // obs/metrics.h
+class WindowTracer;  // obs/trace.h
+}  // namespace obs
+
 /// \brief Downstream emission handle given to bolts.
 class Emitter {
  public:
@@ -39,6 +44,13 @@ struct BoltContext {
   /// configured. Admission-shedding bolts read shed_probability() per
   /// tuple and report window latencies back.
   OverloadDetector* overload = nullptr;
+  /// This worker's observability shard, or null unless the topology was
+  /// built with `.Metrics()`. Bolts resolve instruments once at Prepare
+  /// and update them lock-free afterwards.
+  obs::MetricsShard* obs = nullptr;
+  /// This worker's window-trace sink, or null unless built with
+  /// `.Trace()`. SPEAr bolts record one TraceSpan per closed window.
+  obs::WindowTracer* tracer = nullptr;
 };
 
 /// \brief A processing stage instance. One Bolt object per worker thread;

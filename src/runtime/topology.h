@@ -11,6 +11,7 @@
 #include "common/result.h"
 #include "common/retry_policy.h"
 #include "common/time.h"
+#include "obs/observability.h"
 #include "runtime/operator.h"
 #include "runtime/overload.h"
 #include "runtime/partitioner.h"
@@ -85,6 +86,10 @@ struct Topology {
   /// run or the watchdog closes a stalled source — unsticks operators
   /// blocked outside the executor's control (e.g. a stalled spout).
   std::vector<std::function<void()>> cancel_hooks;
+  /// Observability: exported metrics + per-window trace spans (both off
+  /// by default; see obs/observability.h and the `.Metrics()`/`.Trace()`
+  /// builder knobs).
+  obs::ObsConfig obs;
 };
 
 /// \brief Fluent builder mirroring the structure of the paper's Fig. 2
@@ -184,6 +189,24 @@ class TopologyBuilder {
     return *this;
   }
 
+  /// Enables the exported-metrics layer (obs::MetricsRegistry shards per
+  /// worker, queue/backpressure gauges, checkpoint counters, and the
+  /// final scrape in RunReport::observability). `options` may add a
+  /// periodic sampler thread (scrape_period_ms + sink).
+  TopologyBuilder& Metrics(obs::MetricsOptions options = {}) {
+    topology_.obs.metrics_enabled = true;
+    topology_.obs.metrics = std::move(options);
+    return *this;
+  }
+
+  /// Enables per-window TraceSpan recording (decision lineage; see
+  /// obs/trace.h). `options` controls sampling and the per-worker cap.
+  TopologyBuilder& Trace(obs::TraceOptions options = {}) {
+    topology_.obs.trace_enabled = true;
+    topology_.obs.trace = options;
+    return *this;
+  }
+
   /// Registers a cancel hook (see Topology::cancel_hooks).
   TopologyBuilder& AddCancelHook(std::function<void()> hook) {
     if (hook) topology_.cancel_hooks.push_back(std::move(hook));
@@ -212,6 +235,7 @@ class TopologyBuilder {
       return Status::Invalid("batch_max_tuples must be > 0");
     }
     if (Status os = topology_.overload.Validate(); !os.ok()) return os;
+    if (Status os = topology_.obs.Validate(); !os.ok()) return os;
     if (topology_.checkpoint.enabled) {
       if (topology_.checkpoint.interval < 1) {
         return Status::Invalid("checkpoint interval must be >= 1 ms");

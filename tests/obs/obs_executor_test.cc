@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/spear_topology_builder.h"
+#include "runtime/executor.h"
+#include "runtime/spouts.h"
+
+/// End-to-end observability: a CQ built with `.Metrics()` / `.Trace()`
+/// fills RunReport::observability with a final scrape whose counters
+/// reconcile with the run's output, and one TraceSpan per closed window
+/// carrying the decision lineage. A CQ built without the knobs pays
+/// nothing and reports nothing.
+
+namespace spear {
+namespace {
+
+std::vector<Tuple> Stream(int n, DurationMs spread_ms) {
+  std::vector<Tuple> tuples;
+  tuples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const Timestamp t = static_cast<Timestamp>(i) * spread_ms / n;
+    tuples.emplace_back(t, std::vector<Value>{Value(t), Value(i * 0.5)});
+  }
+  return tuples;
+}
+
+SpearTopologyBuilder BaseQuery(int n) {
+  SpearTopologyBuilder builder;
+  builder.Source(std::make_shared<VectorSpout>(Stream(n, Seconds(3))),
+                 Seconds(1))
+      .TumblingWindowOf(Seconds(1))
+      .Mean(NumericField(1))
+      .SetBudget(Budget::Tuples(100))
+      .Error(0.10, 0.95);
+  return builder;
+}
+
+RunReport MustRun(SpearTopologyBuilder& builder) {
+  auto topology = builder.Build();
+  EXPECT_TRUE(topology.ok()) << topology.status().ToString();
+  auto report = Executor(std::move(*topology)).Run();
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return std::move(*report);
+}
+
+std::uint64_t CounterTotal(const obs::ObservabilityReport& report,
+                           const std::string& name,
+                           const std::string& stage = "") {
+  std::uint64_t total = 0;
+  for (const obs::MetricSample& s : report.metrics) {
+    if (s.kind != obs::MetricSample::Kind::kCounter || s.name != name) continue;
+    if (!stage.empty() && s.stage != stage) continue;
+    total += static_cast<std::uint64_t>(s.value);
+  }
+  return total;
+}
+
+TEST(ObsExecutorTest, OffByDefaultReportsNothing) {
+  auto builder = BaseQuery(300);
+  const RunReport report = MustRun(builder);
+  EXPECT_FALSE(report.observability.metrics_enabled);
+  EXPECT_FALSE(report.observability.trace_enabled);
+  EXPECT_TRUE(report.observability.metrics.empty());
+  EXPECT_TRUE(report.observability.spans.empty());
+}
+
+TEST(ObsExecutorTest, FinalScrapeReconcilesWithTheRun) {
+  const int n = 300;
+  auto builder = BaseQuery(n);
+  builder.Metrics().Trace();
+  const RunReport report = MustRun(builder);
+
+  EXPECT_TRUE(report.observability.metrics_enabled);
+  EXPECT_TRUE(report.observability.trace_enabled);
+  ASSERT_FALSE(report.observability.metrics.empty());
+
+  // The source's emission counter covers the whole stream, and the
+  // stateful stage admitted every tuple of it.
+  EXPECT_EQ(CounterTotal(report.observability, "tuples_emitted", "source"),
+            static_cast<std::uint64_t>(n));
+  EXPECT_EQ(CounterTotal(report.observability, "tuples_seen", "stateful"),
+            static_cast<std::uint64_t>(n));
+
+  // One span per emitted window, each with the (ε, α) spec and a verdict
+  // consistent with the result stream.
+  ASSERT_EQ(report.observability.spans.size(), report.output.size());
+  std::uint64_t arrivals = 0;
+  for (const obs::TraceSpan& span : report.observability.spans) {
+    EXPECT_EQ(span.stage, "stateful");
+    EXPECT_DOUBLE_EQ(span.epsilon_spec, 0.10);
+    EXPECT_DOUBLE_EQ(span.alpha_spec, 0.95);
+    EXPECT_LT(span.window_start, span.window_end);
+    EXPECT_GT(span.emitted_at_ns, 0);
+    arrivals += span.arrivals;
+  }
+  EXPECT_EQ(arrivals, static_cast<std::uint64_t>(n));
+
+  // Verdict counters agree with the span stream.
+  std::uint64_t expedited_spans = 0;
+  for (const obs::TraceSpan& span : report.observability.spans) {
+    if (span.verdict == obs::TraceSpan::Verdict::kExpedited) ++expedited_spans;
+  }
+  EXPECT_EQ(CounterTotal(report.observability, "windows_expedited"),
+            expedited_spans);
+
+  // The rendered exporters carry the scraped series.
+  const std::string prom = report.observability.PrometheusText();
+  EXPECT_NE(prom.find("# TYPE spear_tuples_seen counter"), std::string::npos);
+  EXPECT_NE(prom.find("stage=\"stateful\""), std::string::npos);
+  const std::string spans_json = report.observability.SpansJsonLines();
+  EXPECT_NE(spans_json.find("\"verdict\":"), std::string::npos);
+}
+
+TEST(ObsExecutorTest, PeriodicSamplerDeliversScrapesToTheSink) {
+  std::mutex mu;
+  std::vector<std::string> scrapes;
+  obs::MetricsOptions options;
+  options.scrape_period_ms = 1;
+  options.sink = [&](const std::string& text) {
+    std::lock_guard<std::mutex> lock(mu);
+    scrapes.push_back(text);
+  };
+  auto builder = BaseQuery(300);
+  builder.Metrics(options);
+  const RunReport report = MustRun(builder);
+  EXPECT_GE(report.observability.scrapes, 1u);
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_FALSE(scrapes.empty());
+  EXPECT_NE(scrapes.back().find("\"name\":"), std::string::npos);
+}
+
+TEST(ObsExecutorTest, TraceSamplingIsCountedNotSilent) {
+  obs::TraceOptions options;
+  options.sample_every = 2;
+  auto builder = BaseQuery(300);
+  builder.Trace(options);
+  const RunReport report = MustRun(builder);
+  EXPECT_TRUE(report.observability.trace_enabled);
+  EXPECT_EQ(report.observability.spans.size() +
+                report.observability.spans_sampled_out,
+            report.output.size());
+  EXPECT_GT(report.observability.spans_sampled_out, 0u);
+}
+
+}  // namespace
+}  // namespace spear

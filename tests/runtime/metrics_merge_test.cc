@@ -1,0 +1,141 @@
+#include "runtime/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/fault.h"
+#include "common/retry_policy.h"
+#include "core/spear_window_manager.h"
+#include "storage/secondary_storage.h"
+
+/// The metrics-merge invariant: every counter a worker records reaches the
+/// run-level totals. Accumulate() must cover every field of its struct —
+/// a field added to FaultStats/OverloadStats but not to Accumulate() is
+/// silently dropped from RunReport (exactly how spill_failures went
+/// missing before this suite). The sizeof static_asserts force whoever
+/// adds a field to extend both Accumulate() and these tests.
+
+namespace spear {
+namespace {
+
+static_assert(sizeof(FaultStats) == 8 * sizeof(std::uint64_t),
+              "FaultStats gained a field: update Accumulate() and "
+              "metrics_merge_test.cc");
+static_assert(sizeof(OverloadStats) ==
+                  4 * sizeof(std::uint64_t) + sizeof(std::int64_t),
+              "OverloadStats gained a field: update Accumulate() and "
+              "metrics_merge_test.cc");
+
+TEST(MetricsMergeTest, FaultStatsAccumulateCoversEveryField) {
+  FaultStats a;
+  FaultStats b;
+  b.injected = 1;
+  b.retries = 2;
+  b.recovered = 3;
+  b.quarantined = 5;
+  b.degraded_windows = 7;
+  b.worker_restarts = 11;
+  b.snapshots = 13;
+  b.spill_failures = 17;
+  a.Accumulate(b);
+  a.Accumulate(b);
+  EXPECT_EQ(a.injected, 2u);
+  EXPECT_EQ(a.retries, 4u);
+  EXPECT_EQ(a.recovered, 6u);
+  EXPECT_EQ(a.quarantined, 10u);
+  EXPECT_EQ(a.degraded_windows, 14u);
+  EXPECT_EQ(a.worker_restarts, 22u);
+  EXPECT_EQ(a.snapshots, 26u);
+  EXPECT_EQ(a.spill_failures, 34u);
+}
+
+TEST(MetricsMergeTest, OverloadStatsAccumulateCoversEveryField) {
+  OverloadStats a;
+  OverloadStats b;
+  b.tuples_shed = 1;
+  b.windows_shed_loss = 2;
+  b.deadline_aborts = 3;
+  b.watchdog_advances = 5;
+  b.backpressure_wait_ns = 7;
+  a.Accumulate(b);
+  a.Accumulate(b);
+  EXPECT_EQ(a.tuples_shed, 2u);
+  EXPECT_EQ(a.windows_shed_loss, 4u);
+  EXPECT_EQ(a.deadline_aborts, 6u);
+  EXPECT_EQ(a.watchdog_advances, 10u);
+  EXPECT_EQ(a.backpressure_wait_ns, 14);
+}
+
+TEST(MetricsMergeTest, EveryWorkerAdderReachesTheTotals) {
+  MetricsRegistry registry;
+  WorkerMetrics* w0 = registry.Register("stateful", 0);
+  WorkerMetrics* w1 = registry.Register("stateful", 1);
+
+  w0->AddRetries(1);
+  w0->AddRecovered(2);
+  w0->AddQuarantined(3);
+  w0->AddDegradedWindows(4);
+  w0->AddWorkerRestarts(5);
+  w0->AddSnapshots(6);
+  w0->AddSpillFailures(7);
+  w1->AddSpillFailures(10);
+  w0->AddTuplesShed(8);
+  w0->AddWindowsShedLoss(9);
+  w0->AddDeadlineAborts(10);
+  w0->AddBackpressureNs(11);
+
+  const FaultStats faults = registry.FaultTotals();
+  EXPECT_EQ(faults.retries, 1u);
+  EXPECT_EQ(faults.recovered, 2u);
+  EXPECT_EQ(faults.quarantined, 3u);
+  EXPECT_EQ(faults.degraded_windows, 4u);
+  EXPECT_EQ(faults.worker_restarts, 5u);
+  EXPECT_EQ(faults.snapshots, 6u);
+  EXPECT_EQ(faults.spill_failures, 17u);  // summed across workers
+
+  const OverloadStats overload = registry.OverloadTotals();
+  EXPECT_EQ(overload.tuples_shed, 8u);
+  EXPECT_EQ(overload.windows_shed_loss, 9u);
+  EXPECT_EQ(overload.deadline_aborts, 10u);
+  EXPECT_EQ(overload.backpressure_wait_ns, 11);
+}
+
+// The field that used to be dropped: a SpearWindowManager spill failure
+// (S unavailable past its retries) must reach WorkerMetrics and thus
+// FaultTotals, not just the manager's private counter.
+TEST(MetricsMergeTest, ManagerSpillFailuresReachWorkerMetrics) {
+  SecondaryStorage storage;
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = FaultSite::kStorageStore;
+  rule.probability = 1.0;  // every spill attempt fails
+  plan.Add(rule);
+  FaultInjector injector(plan);
+  storage.InjectFaults(&injector);
+
+  SpearOperatorConfig config;
+  config.window = WindowSpec::TumblingTime(1000);
+  config.aggregate = AggregateSpec::Mean();
+  config.accuracy = AccuracySpec{0.10, 0.95};
+  config.budget = Budget::Tuples(16);
+  config.buffer_memory_capacity = 8;  // force spilling almost immediately
+  config.storage_retry = RetryPolicy::None();
+
+  SpearWindowManager manager(config, NumericField(0), nullptr, &storage,
+                             "merge-test");
+  WorkerMetrics worker("stateful", 0);
+  manager.SetMetrics(&worker);
+
+  for (int i = 0; i < 64; ++i) {
+    manager.OnTuple(i, Tuple(i, {Value(i * 1.0)}));
+  }
+
+  EXPECT_GT(worker.faults().spill_failures, 0u);
+  MetricsRegistry registry;
+  WorkerMetrics* registered = registry.Register("stateful", 0);
+  registered->AddSpillFailures(worker.faults().spill_failures);
+  EXPECT_EQ(registry.FaultTotals().spill_failures,
+            worker.faults().spill_failures);
+}
+
+}  // namespace
+}  // namespace spear
